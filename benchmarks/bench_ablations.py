@@ -1,0 +1,34 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not a paper artifact — these quantify the constants the paper leaves
+unspecified (TH_cost, alpha), the predictor choice, and the correlation
+metric itself (Eqn 1 vs a Pearson-derived cost in the same allocator).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_design_choice_ablations(benchmark, report):
+    result = benchmark.pedantic(
+        ablations.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    report(result.render())
+
+    # The threshold sweep must not break feasibility anywhere.
+    for th_result in result.data["th_results"].values():
+        assert th_result.avg_power_w > 0
+
+    # Max-over-history hedging cannot have *more* violations than
+    # last-value (it provisions for the recent worst case).
+    predictor_results = result.data["predictor_results"]
+    assert (
+        predictor_results["max-over-history(3)"].max_violation_pct
+        <= predictor_results["last-value"].max_violation_pct + 1e-9
+    )
+
+    # Both metrics must produce working placements; the native Eqn-1
+    # metric is the reproduction's default.
+    assert result.data["native_metric"].avg_power_w > 0
+    assert result.data["pearson_metric"].avg_power_w > 0

@@ -1,0 +1,63 @@
+"""Table II — normalized power and QoS violations (static & dynamic v/f).
+
+Paper rows:
+
+    (a) static        power   max viol      (b) dynamic      power   max viol
+    BFD               1.000   18.2%         BFD              1.000   20.3%
+    PCP               0.999   18.2%         PCP              0.997   20.3%
+    Proposed          0.863    2.6%         Proposed         0.958    3.1%
+
+Plus: PCP collapses to a single envelope cluster in 22 of 24 periods.
+
+Shape contract asserted below: the proposed scheme saves double-digit-
+percent power statically while slashing violations by an order of
+magnitude; PCP tracks BFD; the dynamic variant shrinks the power gap but
+keeps the QoS gap.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+
+
+def _row(rows, name):
+    return next(r for r in rows if r["approach"] == name)
+
+
+def test_table2_consolidation(benchmark, report):
+    result = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    report(result.render())
+
+    static = result.data["static_rows"]
+    dynamic = result.data["dynamic_rows"]
+
+    # --- (a) static v/f -------------------------------------------------
+    assert _row(static, "BFD")["normalized_power"] == 1.0
+    # PCP ~= BFD (paper: 0.999 and identical violations).
+    assert abs(_row(static, "PCP")["normalized_power"] - 1.0) < 0.02
+    # Proposed saves double-digit-ish power (paper: 13.7%).
+    assert _row(static, "Proposed")["normalized_power"] < 0.93
+    # Violations: proposed at least 5x below both baselines (paper: 7x).
+    bfd_viol = _row(static, "BFD")["max_violation_pct"]
+    prop_viol = _row(static, "Proposed")["max_violation_pct"]
+    assert bfd_viol > 8.0
+    assert prop_viol < bfd_viol / 5.0
+    assert _row(static, "PCP")["max_violation_pct"] > prop_viol
+
+    # --- (b) dynamic v/f ------------------------------------------------
+    static_gap = 1.0 - _row(static, "Proposed")["normalized_power"]
+    dynamic_gap = 1.0 - _row(dynamic, "Proposed")["normalized_power"]
+    # "the power savings become smaller compared to the static v/f scaling"
+    assert dynamic_gap < static_gap
+    # "the amount of the violations is unacceptably high in the other
+    # approaches"
+    dyn_bfd_viol = _row(dynamic, "BFD")["max_violation_pct"]
+    dyn_prop_viol = _row(dynamic, "Proposed")["max_violation_pct"]
+    assert dyn_bfd_viol > 8.0
+    assert dyn_prop_viol < dyn_bfd_viol / 5.0
+
+    # --- PCP degeneration -------------------------------------------------
+    counts = result.data["pcp_cluster_counts"]
+    single = result.data["pcp_single_cluster_periods"]
+    # Paper: 22 of 24 periods collapse to one cluster; ours: most periods.
+    assert single >= len(counts) * 0.6

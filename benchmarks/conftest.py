@@ -1,0 +1,23 @@
+"""Benchmark-suite fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures at full
+scale, prints the same rows/series the paper reports (run with ``-s`` to
+see them), and asserts the qualitative claims — making the suite a
+regression harness for the reproduction, not just a stopwatch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(request):
+    """Print a rendered experiment report under its benchmark's name."""
+
+    def _print(text: str) -> None:
+        header = f"\n===== {request.node.name} ====="
+        print(header)
+        print(text)
+
+    return _print

@@ -1,0 +1,234 @@
+"""Analytical co-location interference model (the Table I substitute).
+
+The paper measures IPC, L2 MPKI and L2 miss rate of a web-search VM
+co-located with PARSEC workloads using Xenoprof on an AMD Bulldozer
+machine, and finds "only negligible variations over all the metrics" —
+the empirical basis for the core-sharing principle of Section III-B.  The
+mechanism, per the CloudSuite characterization the paper cites (Ferdman
+et al., ASPLOS 2012): scale-out working sets dwarf the last-level cache,
+so losing cache share to a co-runner barely moves the (already high) miss
+rate.
+
+Without the hardware, we model that mechanism directly:
+
+* A workload's LLC hit probability follows a saturating curve in the
+  cache it effectively owns: ``hit = hit_max * min(1, share / ws)`` where
+  ``ws`` is the working-set size.  For web search ``ws >> LLC``, so the
+  curve is in its flat, nearly-zero-slope tail.
+* Co-location splits the LLC in proportion to each workload's access
+  intensity (an LRU-occupancy approximation).
+* MPKI and miss rate follow from accesses per kilo-instruction; IPC
+  follows from a simple two-term bottleneck model (core-bound CPI plus
+  memory-stall CPI proportional to misses).
+
+The point of the model is *shape fidelity*: for a streaming,
+cache-resident co-runner the web-search deltas must come out at the
+few-percent level of Table I, and the tests pin exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "WorkloadProfile",
+    "CacheSystem",
+    "InterferenceResult",
+    "colocation_metrics",
+    "WEB_SEARCH",
+    "PARSEC_BLACKSCHOLES",
+    "PARSEC_SWAPTIONS",
+    "PARSEC_FACESIM",
+    "PARSEC_CANNEAL",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Microarchitectural summary of one workload.
+
+    Parameters
+    ----------
+    name:
+        Display name.
+    ipc_peak:
+        IPC with a perfect L2 (core-bound throughput).
+    apki:
+        L2 accesses per kilo-instruction.
+    working_set_mb:
+        Effective L2-relevant working set; the capacity-sensitive part of
+        the hit curve saturates once the allocated share covers it.
+    hit_floor:
+        Capacity-*insensitive* hit probability — short-term reuse (code,
+        stack, hot metadata) that survives on almost no cache.  This is
+        what keeps scale-out miss rates near 11% rather than ~100%
+        despite multi-gigabyte footprints.
+    hit_max:
+        Hit probability when the working set fits entirely.
+    miss_penalty_cycles:
+        Average stall cycles per L2 miss (memory latency after MLP).
+    """
+
+    name: str
+    ipc_peak: float
+    apki: float
+    working_set_mb: float
+    hit_floor: float = 0.0
+    hit_max: float = 0.95
+    miss_penalty_cycles: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.ipc_peak <= 0:
+            raise ValueError("ipc_peak must be positive")
+        if self.apki < 0:
+            raise ValueError("apki must be non-negative")
+        if self.working_set_mb <= 0:
+            raise ValueError("working set must be positive")
+        if not 0.0 <= self.hit_floor <= self.hit_max <= 1.0:
+            raise ValueError("need 0 <= hit_floor <= hit_max <= 1")
+        if self.miss_penalty_cycles < 0:
+            raise ValueError("miss penalty must be non-negative")
+
+    def hit_rate(self, cache_share_mb: float) -> float:
+        """LLC hit probability given an effective cache share."""
+        if cache_share_mb < 0:
+            raise ValueError("cache share must be non-negative")
+        coverage = min(1.0, cache_share_mb / self.working_set_mb)
+        return self.hit_floor + (self.hit_max - self.hit_floor) * coverage
+
+    def metrics(self, cache_share_mb: float) -> tuple[float, float, float]:
+        """``(ipc, mpki, miss_rate_pct)`` at the given cache share."""
+        hit = self.hit_rate(cache_share_mb)
+        miss_rate = 1.0 - hit
+        mpki = self.apki * miss_rate
+        cpi = 1.0 / self.ipc_peak + (mpki / 1000.0) * self.miss_penalty_cycles
+        return 1.0 / cpi, mpki, miss_rate * 100.0
+
+
+@dataclass(frozen=True)
+class CacheSystem:
+    """The shared last-level cache being contended for."""
+
+    size_mb: float
+
+    def __post_init__(self) -> None:
+        if self.size_mb <= 0:
+            raise ValueError("cache size must be positive")
+
+    def shares(
+        self, primary: WorkloadProfile, corunner: WorkloadProfile | None
+    ) -> tuple[float, float]:
+        """Cache split between the primary and an optional co-runner.
+
+        LRU-occupancy approximation: each workload holds cache in
+        proportion to its access intensity (APKI), which is what steady
+        state LRU converges to for miss-dominated mixes.
+        """
+        if corunner is None:
+            return self.size_mb, 0.0
+        total = primary.apki + corunner.apki
+        if total == 0:
+            half = self.size_mb / 2.0
+            return half, half
+        primary_share = self.size_mb * primary.apki / total
+        return primary_share, self.size_mb - primary_share
+
+
+@dataclass(frozen=True)
+class InterferenceResult:
+    """Solo-vs-co-located metrics of the primary workload (one table row)."""
+
+    primary: str
+    corunner: str
+    ipc_colocated: float
+    ipc_solo: float
+    mpki_colocated: float
+    mpki_solo: float
+    miss_rate_colocated_pct: float
+    miss_rate_solo_pct: float
+
+    @property
+    def ipc_delta_pct(self) -> float:
+        """Relative IPC change caused by co-location, in percent."""
+        return (self.ipc_colocated / self.ipc_solo - 1.0) * 100.0
+
+    @property
+    def mpki_delta_pct(self) -> float:
+        """Relative MPKI change caused by co-location, in percent."""
+        if self.mpki_solo == 0:
+            return 0.0
+        return (self.mpki_colocated / self.mpki_solo - 1.0) * 100.0
+
+
+def colocation_metrics(
+    primary: WorkloadProfile,
+    corunner: WorkloadProfile | None,
+    cache: CacheSystem,
+) -> InterferenceResult:
+    """Metrics of ``primary`` alone and next to ``corunner`` (Table I row)."""
+    solo_share, _ = cache.shares(primary, None)
+    ipc_solo, mpki_solo, miss_solo = primary.metrics(solo_share)
+    if corunner is None:
+        return InterferenceResult(
+            primary=primary.name,
+            corunner="(alone)",
+            ipc_colocated=ipc_solo,
+            ipc_solo=ipc_solo,
+            mpki_colocated=mpki_solo,
+            mpki_solo=mpki_solo,
+            miss_rate_colocated_pct=miss_solo,
+            miss_rate_solo_pct=miss_solo,
+        )
+    share, _ = cache.shares(primary, corunner)
+    ipc_co, mpki_co, miss_co = primary.metrics(share)
+    return InterferenceResult(
+        primary=primary.name,
+        corunner=corunner.name,
+        ipc_colocated=ipc_co,
+        ipc_solo=ipc_solo,
+        mpki_colocated=mpki_co,
+        mpki_solo=mpki_solo,
+        miss_rate_colocated_pct=miss_co,
+        miss_rate_solo_pct=miss_solo,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Profiles calibrated to Table I's solo columns: web search runs at
+# IPC ~0.76, L2 MPKI ~2.4, L2 miss rate ~11.5% on the AMD 15h testbed; the
+# PARSEC co-runners differ mainly in access intensity and working set.
+# The defining property is working_set_mb >> cache for web search: its
+# hit rate is dominated by the capacity-insensitive floor, so losing
+# cache share to a co-runner barely moves any metric.
+# ---------------------------------------------------------------------------
+
+#: CloudSuite web search ISN: multi-gigabyte index, LLC-insensitive.
+WEB_SEARCH = WorkloadProfile(
+    name="Web search",
+    ipc_peak=0.92,
+    apki=21.0,
+    working_set_mb=4096.0,
+    hit_floor=0.884,
+    hit_max=0.97,
+    miss_penalty_cycles=96.0,
+)
+
+#: PARSEC blackscholes: tiny working set, compute-bound.
+PARSEC_BLACKSCHOLES = WorkloadProfile(
+    name="Blackscholes", ipc_peak=1.6, apki=3.0, working_set_mb=2.0, hit_floor=0.5
+)
+
+#: PARSEC swaptions: small working set, compute-bound.
+PARSEC_SWAPTIONS = WorkloadProfile(
+    name="Swaptions", ipc_peak=1.5, apki=4.0, working_set_mb=1.0, hit_floor=0.5
+)
+
+#: PARSEC facesim: moderate streaming working set.
+PARSEC_FACESIM = WorkloadProfile(
+    name="Facesim", ipc_peak=1.1, apki=12.0, working_set_mb=256.0, hit_floor=0.3
+)
+
+#: PARSEC canneal: large, cache-hostile working set (pointer chasing).
+PARSEC_CANNEAL = WorkloadProfile(
+    name="Canneal", ipc_peak=0.9, apki=15.0, working_set_mb=2048.0, hit_floor=0.2
+)

@@ -1,0 +1,108 @@
+"""Plain-text rendering of tables, histograms and series.
+
+Every experiment driver renders its output through these helpers so the
+benchmarks print the same rows/series the paper reports without any
+plotting dependency.  The renderers are intentionally dumb: data in,
+aligned monospace text out.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_table", "ascii_histogram", "ascii_series", "format_float"]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Compact fixed-point formatting used across reports."""
+    return f"{value:.{digits}f}"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats are formatted to three decimals, everything else via ``str``.
+    """
+    rendered_rows = [
+        [format_float(cell) if isinstance(cell, float) else str(cell) for cell in row]
+        for row in rows
+    ]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * max(len(title), len(separator)))
+    parts.append(line(headers))
+    parts.append(separator)
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def ascii_histogram(
+    counts: Mapping[object, int | float],
+    title: str | None = None,
+    width: int = 40,
+) -> str:
+    """Render a labelled horizontal bar chart (Fig 6 style)."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    items = list(counts.items())
+    if not items:
+        raise ValueError("nothing to plot")
+    peak = max(float(v) for _, v in items)
+    label_width = max(len(str(k)) for k, _ in items)
+    parts = []
+    if title:
+        parts.append(title)
+    for key, value in items:
+        value = float(value)
+        bar_len = 0 if peak == 0 else int(round(value / peak * width))
+        parts.append(f"{str(key).rjust(label_width)} | {'#' * bar_len} {value:g}")
+    return "\n".join(parts)
+
+
+def ascii_series(
+    values: Sequence[float] | np.ndarray,
+    height: int = 12,
+    width: int = 72,
+    title: str | None = None,
+) -> str:
+    """Render a downsampled line chart of one series (Fig 1/4 style)."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ValueError("nothing to plot")
+    if height < 2 or width < 2:
+        raise ValueError("chart must be at least 2x2")
+    if data.size > width:
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.array([data[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+    lo, hi = float(data.min()), float(data.max())
+    span = hi - lo if hi > lo else 1.0
+    levels = np.clip(((data - lo) / span * (height - 1)).round().astype(int), 0, height - 1)
+    grid = [[" "] * data.size for _ in range(height)]
+    for x, level in enumerate(levels):
+        grid[height - 1 - level][x] = "*"
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(f"max={hi:.3f}")
+    parts.extend("".join(row) for row in grid)
+    parts.append(f"min={lo:.3f}")
+    return "\n".join(parts)

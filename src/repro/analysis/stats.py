@@ -1,0 +1,386 @@
+"""Exact and streaming statistics used by the correlation machinery.
+
+The paper's correlation cost (Eqn 1) is built from *reference utilizations*
+``u_hat`` — the peak or an Nth-percentile value of a CPU-utilization signal.
+Section IV-A motivates the new metric partly on grounds of cost: Pearson's
+correlation requires buffering a full window of samples, whereas the
+proposed metric "can update the values at each sampling period", saving
+memory and spreading compute evenly over the monitoring horizon.
+
+To honour that claim the library ships both:
+
+* exact, numpy-backed batch statistics (:func:`percentile`,
+  :func:`pearson`) used by tests and small experiments, and
+* O(1)-per-sample streaming estimators (:class:`RunningMax`,
+  :class:`PSquarePercentile`, :class:`RunningMeanVar`) used by the online
+  cost matrix in :mod:`repro.core.correlation`.
+
+The streaming percentile estimator is the classic P-square algorithm of
+Jain & Chlamtac (CACM 1985), which tracks five markers and adjusts them
+with piecewise-parabolic interpolation; it needs no sample buffer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "percentile",
+    "pearson",
+    "autocorrelation",
+    "empirical_cdf",
+    "RunningMax",
+    "RunningMeanVar",
+    "PSquarePercentile",
+    "RunningPercentile",
+]
+
+
+def percentile(samples: Sequence[float] | np.ndarray, q: float) -> float:
+    """Return the ``q``-th percentile of ``samples`` (linear interpolation).
+
+    ``q`` is expressed in percent, e.g. ``q=90`` for the 90th percentile and
+    ``q=100`` for the peak.  Raises :class:`ValueError` on empty input or a
+    ``q`` outside ``[0, 100]`` — silent extrapolation would corrupt the
+    reference utilizations that every placement decision depends on.
+    """
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot take a percentile of an empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must lie in [0, 100], got {q}")
+    return float(np.percentile(data, q))
+
+
+def pearson(x: Sequence[float] | np.ndarray, y: Sequence[float] | np.ndarray) -> float:
+    """Pearson product-moment correlation of two equal-length signals.
+
+    This is the conventional correlation measure the paper argues against
+    for online use (Section IV-A); it is retained for the metric-ablation
+    experiments and for validating the Eqn-1 cost against ground truth.
+    Degenerate (zero-variance) inputs return ``0.0`` rather than NaN so the
+    ablation code can treat constant traces as "uncorrelated".
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape:
+        raise ValueError(f"shape mismatch: {xs.shape} vs {ys.shape}")
+    if xs.size < 2:
+        raise ValueError("need at least two samples for a correlation")
+    xc = xs - xs.mean()
+    yc = ys - ys.mean()
+    denom = math.sqrt(float(np.dot(xc, xc)) * float(np.dot(yc, yc)))
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(xc, yc) / denom)
+
+
+def autocorrelation(x: Sequence[float] | np.ndarray, lag: int) -> float:
+    """Autocorrelation of ``x`` at integer ``lag`` samples.
+
+    Used by the datacenter trace generator's self-checks: production CPU
+    traces exhibit strong short-lag autocorrelation (diurnal structure), and
+    the generator asserts that the synthesized traces do too.
+    """
+    xs = np.asarray(x, dtype=float)
+    if lag < 0:
+        raise ValueError("lag must be non-negative")
+    if lag >= xs.size - 1:
+        raise ValueError(f"lag {lag} too large for {xs.size} samples")
+    if lag == 0:
+        return 1.0
+    return pearson(xs[:-lag], xs[lag:])
+
+
+def empirical_cdf(samples: Sequence[float] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_probabilities)`` for plotting.
+
+    The response-time experiments (Fig 5) report 90th-percentile latencies;
+    the CDF helper lets examples render the whole distribution.
+    """
+    data = np.sort(np.asarray(samples, dtype=float))
+    if data.size == 0:
+        raise ValueError("cannot build a CDF from an empty sample set")
+    probs = np.arange(1, data.size + 1, dtype=float) / data.size
+    return data, probs
+
+
+class RunningMax:
+    """O(1) streaming maximum — the peak (100th percentile) reference.
+
+    The default reference utilization in the paper is the peak, so the
+    streaming cost matrix mostly needs nothing fancier than this.
+    """
+
+    __slots__ = ("_best", "_count")
+
+    def __init__(self) -> None:
+        self._best = -math.inf
+        self._count = 0
+
+    def update(self, value: float) -> None:
+        """Fold one sample into the running maximum."""
+        if value > self._best:
+            self._best = value
+        self._count += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold an iterable of samples into the running maximum."""
+        for value in values:
+            self.update(value)
+
+    @property
+    def count(self) -> int:
+        """Number of samples observed so far."""
+        return self._count
+
+    @property
+    def value(self) -> float:
+        """Current maximum; raises if no samples have been observed."""
+        if self._count == 0:
+            raise ValueError("RunningMax has seen no samples")
+        return self._best
+
+    def reset(self) -> None:
+        """Forget all observed samples (used at each placement period)."""
+        self._best = -math.inf
+        self._count = 0
+
+
+class RunningMeanVar:
+    """Welford's online mean/variance, numerically stable.
+
+    Used for trace-generator self checks and for the Pearson-vs-Eqn-1
+    ablation, where an online Pearson estimate is assembled from running
+    moments.
+    """
+
+    __slots__ = ("_count", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float) -> None:
+        """Fold one sample into the running moments."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold an iterable of samples into the running moments."""
+        for value in values:
+            self.update(value)
+
+    @property
+    def count(self) -> int:
+        """Number of samples observed so far."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Running mean; raises if no samples have been observed."""
+        if self._count == 0:
+            raise ValueError("RunningMeanVar has seen no samples")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples observed so far."""
+        if self._count == 0:
+            raise ValueError("RunningMeanVar has seen no samples")
+        if self._count == 1:
+            return 0.0
+        return self._m2 / self._count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the samples observed so far."""
+        return math.sqrt(self.variance)
+
+    def reset(self) -> None:
+        """Forget all observed samples."""
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+
+class PSquarePercentile:
+    """P-square streaming percentile estimator (Jain & Chlamtac, 1985).
+
+    Tracks the ``q``-th percentile of a stream with five markers and no
+    sample buffer.  This is what lets the cost matrix honour the paper's
+    claim that the correlation measure is updated "at each sampling period"
+    with evenly distributed computational effort, even when the reference
+    utilization is an off-peak percentile rather than the true peak.
+
+    The estimator is exact while fewer than five samples have been seen
+    (it falls back to sorting the short buffer) and converges to the true
+    percentile as the stream grows; the property-based tests bound its
+    error against :func:`percentile` on several distributions.
+    """
+
+    __slots__ = ("_q", "_initial", "_heights", "_positions", "_desired", "_increments", "_count")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 100.0:
+            raise ValueError(
+                f"P-square tracks strictly interior percentiles, got {q}; "
+                "use RunningMax for the peak"
+            )
+        self._q = q
+        p = q / 100.0
+        self._initial: list[float] = []
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self._count = 0
+
+    @property
+    def q(self) -> float:
+        """Percentile being tracked, in percent."""
+        return self._q
+
+    @property
+    def count(self) -> int:
+        """Number of samples observed so far."""
+        return self._count
+
+    def update(self, value: float) -> None:
+        """Fold one sample into the estimate."""
+        self._count += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._heights = sorted(self._initial)
+            return
+        self._absorb(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold an iterable of samples into the estimate."""
+        for value in values:
+            self.update(value)
+
+    def _absorb(self, value: float) -> None:
+        heights = self._heights
+        positions = self._positions
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= heights[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        for i in (1, 2, 3):
+            delta = self._desired[i] - positions[i]
+            step_up = positions[i + 1] - positions[i]
+            step_down = positions[i - 1] - positions[i]
+            if (delta >= 1.0 and step_up > 1.0) or (delta <= -1.0 and step_down < -1.0):
+                direction = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, direction)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, direction)
+                positions[i] += direction
+
+    def _parabolic(self, i: int, direction: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        span = positions[i + 1] - positions[i - 1]
+        upper = (positions[i] - positions[i - 1] + direction) * (
+            (heights[i + 1] - heights[i]) / (positions[i + 1] - positions[i])
+        )
+        lower = (positions[i + 1] - positions[i] - direction) * (
+            (heights[i] - heights[i - 1]) / (positions[i] - positions[i - 1])
+        )
+        return heights[i] + direction / span * (upper + lower)
+
+    def _linear(self, i: int, direction: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        j = i + int(direction)
+        return heights[i] + direction * (heights[j] - heights[i]) / (positions[j] - positions[i])
+
+    @property
+    def value(self) -> float:
+        """Current percentile estimate; raises before the first sample."""
+        if self._count == 0:
+            raise ValueError("PSquarePercentile has seen no samples")
+        if len(self._initial) < 5:
+            data = sorted(self._initial)
+            return percentile(data, self._q)
+        return self._heights[2]
+
+    def reset(self) -> None:
+        """Forget all observed samples."""
+        p = self._q / 100.0
+        self._initial = []
+        self._heights = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self._count = 0
+
+
+class RunningPercentile:
+    """Reference-utilization estimator: streaming peak or percentile.
+
+    Unifies :class:`RunningMax` (``q == 100``) and
+    :class:`PSquarePercentile` (``q < 100``) behind one interface so that
+    the cost matrix can be configured with a single *reference percentile*
+    knob, mirroring the paper's "peak or Nth percentile depending on QoS
+    requirement".
+    """
+
+    __slots__ = ("_q", "_impl")
+
+    def __init__(self, q: float = 100.0) -> None:
+        if not 0.0 < q <= 100.0:
+            raise ValueError(f"reference percentile must lie in (0, 100], got {q}")
+        self._q = q
+        self._impl: RunningMax | PSquarePercentile
+        if q == 100.0:
+            self._impl = RunningMax()
+        else:
+            self._impl = PSquarePercentile(q)
+
+    @property
+    def q(self) -> float:
+        """Percentile being tracked, in percent (100 means the peak)."""
+        return self._q
+
+    @property
+    def count(self) -> int:
+        """Number of samples observed so far."""
+        return self._impl.count
+
+    @property
+    def value(self) -> float:
+        """Current reference-utilization estimate."""
+        return self._impl.value
+
+    def update(self, value: float) -> None:
+        """Fold one utilization sample into the estimate."""
+        self._impl.update(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold an iterable of utilization samples into the estimate."""
+        self._impl.extend(values)
+
+    def reset(self) -> None:
+        """Forget all observed samples (called at each placement period)."""
+        self._impl.reset()

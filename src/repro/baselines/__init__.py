@@ -1,0 +1,20 @@
+"""Comparison placement schemes: BFD, FFD and PCP.
+
+The paper compares against Best-Fit-Decreasing (the conventional
+consolidation heuristic) and Verma et al.'s Peak Clustering-based
+Placement (USENIX ATC 2009), the prior correlation-aware scheme.
+First-Fit-Decreasing is included as the packing skeleton the proposed
+algorithm builds on (used by the ablation benches).
+"""
+
+from repro.baselines.bfd import best_fit_decreasing
+from repro.baselines.ffd import first_fit_decreasing
+from repro.baselines.pcp import PcpConfig, PcpPlacementResult, peak_clustering_placement
+
+__all__ = [
+    "best_fit_decreasing",
+    "first_fit_decreasing",
+    "peak_clustering_placement",
+    "PcpConfig",
+    "PcpPlacementResult",
+]

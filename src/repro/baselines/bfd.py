@@ -1,0 +1,73 @@
+"""Best-Fit-Decreasing placement — the conventional baseline.
+
+Sorts VMs by predicted reference utilization descending and places each
+into the *feasible server with the least capacity left after placement*
+(the classical best-fit rule), opening a new server only when nothing
+fits.  This is the "BFD" row of Table II: it minimises active servers
+about as well as anything, but is blind to correlation, so it happily
+co-locates VMs whose peaks coincide.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.allocation import CapacityError
+from repro.core.placement import Placement
+
+__all__ = ["best_fit_decreasing"]
+
+
+def best_fit_decreasing(
+    vm_ids: Sequence[str],
+    references: Mapping[str, float],
+    n_cores: int,
+    max_servers: int | None = None,
+) -> Placement:
+    """Pack ``vm_ids`` with the best-fit-decreasing heuristic.
+
+    Parameters mirror
+    :meth:`repro.core.allocation.CorrelationAwareAllocator.allocate`
+    (minus the correlation inputs); references are clamped into
+    ``[0, n_cores]``.
+    """
+    if n_cores <= 0:
+        raise ValueError("n_cores must be positive")
+    vm_ids = list(vm_ids)
+    if len(set(vm_ids)) != len(vm_ids):
+        raise ValueError("duplicate VM ids")
+    if not vm_ids:
+        raise ValueError("nothing to allocate")
+    missing = [vm for vm in vm_ids if vm not in references]
+    if missing:
+        raise ValueError(f"missing references for {missing}")
+
+    capacity = float(n_cores)
+    refs = {vm: min(max(float(references[vm]), 0.0), capacity) for vm in vm_ids}
+    order = sorted(vm_ids, key=lambda vm: (-refs[vm], vm))
+
+    remaining: list[float] = []
+    assignment: dict[str, int] = {}
+    for vm in order:
+        demand = refs[vm]
+        best_index: int | None = None
+        best_left = float("inf")
+        for index, free in enumerate(remaining):
+            left = free - demand
+            if left >= -1e-12 and left < best_left:
+                best_left = left
+                best_index = index
+        if best_index is None:
+            if max_servers is not None and len(remaining) >= max_servers:
+                raise CapacityError(
+                    f"cannot place {vm} within {max_servers} servers of capacity {capacity}"
+                )
+            remaining.append(capacity)
+            best_index = len(remaining) - 1
+        remaining[best_index] -= demand
+        assignment[vm] = best_index
+
+    num_servers = max_servers if max_servers is not None else len(remaining)
+    placement = Placement(assignment, num_servers=num_servers)
+    placement.validate_capacity(refs, capacity)
+    return placement

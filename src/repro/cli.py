@@ -1,0 +1,105 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments run fig5
+    repro-experiments run all --fast
+    repro-experiments export-traces population.csv
+    python -m repro.cli run table2
+
+Each experiment prints the same rows/series the paper reports (see
+EXPERIMENTS.md for the paper-vs-measured record); ``export-traces``
+writes the synthetic Setup-2 population to CSV so it can be inspected or
+replaced with real monitoring data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import EXPERIMENTS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the DATE 2013 paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment",
+        choices=[*sorted(EXPERIMENTS), "all"],
+        help="experiment id, or 'all'",
+    )
+    run_parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="shrink workloads for a quick qualitative run",
+    )
+
+    export_parser = sub.add_parser(
+        "export-traces", help="write the synthetic Setup-2 population to CSV"
+    )
+    export_parser.add_argument("path", help="output CSV path")
+    export_parser.add_argument(
+        "--fine",
+        action="store_true",
+        help="export the refined 5-second traces instead of the 5-minute ones",
+    )
+    export_parser.add_argument(
+        "--seed", type=int, default=None, help="override the generator seed"
+    )
+    return parser
+
+
+def _export_traces(path: str, fine: bool, seed: int | None) -> None:
+    from repro.experiments.setup2 import Setup2Config, build_fine_traces
+    from repro.traces.datacenter import DatacenterTraceConfig, generate_datacenter_traces
+    from repro.traces.io import save_trace_set_csv
+
+    traces_config = (
+        DatacenterTraceConfig(seed=seed) if seed is not None else DatacenterTraceConfig()
+    )
+    if fine:
+        traces = build_fine_traces(Setup2Config(traces=traces_config))
+    else:
+        traces, _membership = generate_datacenter_traces(traces_config)
+    save_trace_set_csv(traces, path)
+    print(
+        f"wrote {traces.num_traces} traces x {traces.num_samples} samples "
+        f"({traces.period_s:.0f}s period) to {path}"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+
+    if args.command == "export-traces":
+        _export_traces(args.path, args.fine, args.seed)
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = EXPERIMENTS[name](fast=args.fast)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""One-stop configuration surface for the reproduction.
+
+Re-exports every configuration dataclass so downstream users can build a
+fully customised evaluation from a single import::
+
+    from repro.config import (
+        AllocationConfig, DatacenterTraceConfig, PcpConfig,
+        QueueingConfig, ReplayConfig, Setup1Config, Setup2Config,
+    )
+
+The defaults of each class reproduce the paper's setups; DESIGN.md §4
+documents every constant the paper does not specify.
+"""
+
+from repro.baselines.pcp import PcpConfig
+from repro.core.allocation import AllocationConfig
+from repro.core.manager import ManagerConfig
+from repro.experiments.setup1 import Setup1Config
+from repro.experiments.setup2 import Setup2Config
+from repro.sim.engine import ReplayConfig
+from repro.traces.datacenter import DatacenterTraceConfig
+from repro.traces.trace import ReferenceSpec
+from repro.workloads.queueing import QueueingConfig
+from repro.workloads.websearch import WebSearchClusterConfig
+
+__all__ = [
+    "AllocationConfig",
+    "ManagerConfig",
+    "PcpConfig",
+    "QueueingConfig",
+    "ReferenceSpec",
+    "ReplayConfig",
+    "Setup1Config",
+    "Setup2Config",
+    "DatacenterTraceConfig",
+    "WebSearchClusterConfig",
+]

@@ -1,0 +1,44 @@
+"""The paper's contribution: correlation-aware allocation and v/f scaling.
+
+* :mod:`repro.core.correlation` — the Eqn-1 pairwise correlation cost and
+  the cost matrix ``M_cost`` (exact batch form and the O(1)-per-sample
+  streaming form the paper advocates).
+* :mod:`repro.core.server_cost` — the Eqn-2 weighted per-server cost.
+* :mod:`repro.core.allocation` — the Fig-2 UPDATE/ALLOCATE heuristic with
+  the Eqn-3 active-server estimate.
+* :mod:`repro.core.vf_control` — the Eqn-4 aggressive-yet-safe frequency
+  decision plus the peak-sum baseline used by BFD/PCP.
+* :mod:`repro.core.placement` — the placement value type shared with the
+  baselines.
+* :mod:`repro.core.manager` — :class:`PowerManager`, the periodic loop
+  tying the pieces together (the library's main entry point).
+"""
+
+from repro.core.correlation import CostMatrix, StreamingCostMatrix, pearson_cost_matrix
+from repro.core.placement import Placement
+from repro.core.server_cost import prospective_server_cost, server_correlation_cost
+from repro.core.allocation import AllocationConfig, CapacityError, CorrelationAwareAllocator
+from repro.core.vf_control import (
+    correlation_aware_frequency,
+    estimate_active_servers,
+    peak_sum_frequency,
+)
+from repro.core.manager import ManagerConfig, PeriodDecision, PowerManager
+
+__all__ = [
+    "CostMatrix",
+    "StreamingCostMatrix",
+    "pearson_cost_matrix",
+    "Placement",
+    "server_correlation_cost",
+    "prospective_server_cost",
+    "AllocationConfig",
+    "CorrelationAwareAllocator",
+    "CapacityError",
+    "correlation_aware_frequency",
+    "peak_sum_frequency",
+    "estimate_active_servers",
+    "PowerManager",
+    "ManagerConfig",
+    "PeriodDecision",
+]

@@ -1,0 +1,304 @@
+"""The Eqn-1 correlation cost and the pairwise cost matrix ``M_cost``.
+
+Section IV-A defines, for two VMs ``i`` and ``j``,
+
+``Cost_vm(i, j) = (u_hat(VM_i) + u_hat(VM_j)) / u_hat(VM_i + VM_j)``
+
+where ``u_hat`` is the reference utilization (peak or Nth percentile).
+The numerator is the worst-case joint peak (peaks coinciding); the
+denominator is the *actual* joint peak when the VMs share a server.  The
+ratio is therefore a multiplexing-headroom factor:
+
+* ``Cost == 1``   — peaks coincide (fully correlated); co-location saves
+  nothing.
+* ``Cost == 2``   — two equal-peak VMs that never peak together; a server
+  provisioned for one peak carries both.
+* in general (with peak references) ``1 <= Cost <= 2`` for any pair, by
+  sub-additivity of the maximum — a property the test suite checks by
+  construction and by hypothesis.
+
+The *higher* the cost, the *less* correlated the pair and the more
+attractive co-location is — note the deliberate inversion relative to
+Pearson's coefficient.
+
+Two implementations are provided.  :class:`CostMatrix` computes the
+matrix exactly from a window of samples (what an offline study or test
+wants).  :class:`StreamingCostMatrix` maintains the same quantities with
+O(1) work per pair per sample and no sample buffer, which is the paper's
+stated advantage over Pearson's correlation ("we can update the values at
+each sampling period ... save memory space as well as evenly distributing
+computational effort").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import RunningPercentile, pearson
+from repro.traces.trace import ReferenceSpec, TraceSet
+
+__all__ = ["CostMatrix", "StreamingCostMatrix", "pearson_cost_matrix"]
+
+#: Neutral cost assigned to degenerate pairs (both VMs idle over the whole
+#: window).  1.0 means "treat as fully correlated", the conservative choice:
+#: the allocator then gains nothing from co-locating two idle VMs and the
+#: v/f controller does not scale below their (zero) demand.
+NEUTRAL_COST = 1.0
+
+
+def _pair_cost(ref_i: float, ref_j: float, ref_joint: float) -> float:
+    """Eqn 1 with the degenerate-denominator guard."""
+    if ref_joint <= 0.0:
+        return NEUTRAL_COST
+    return (ref_i + ref_j) / ref_joint
+
+
+class CostMatrix:
+    """Exact pairwise correlation costs over a window of aligned traces.
+
+    The matrix is symmetric with a unit diagonal (a VM is perfectly
+    correlated with itself).  Entries are addressable by VM name or
+    positional index.
+    """
+
+    __slots__ = ("_names", "_references", "_matrix", "_spec")
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        references: np.ndarray,
+        matrix: np.ndarray,
+        spec: ReferenceSpec,
+    ) -> None:
+        self._names = tuple(names)
+        self._references = references
+        self._matrix = matrix
+        self._spec = spec
+
+    @classmethod
+    def from_traces(cls, traces: TraceSet, spec: ReferenceSpec | None = None) -> "CostMatrix":
+        """Build the exact cost matrix from a :class:`TraceSet` window.
+
+        With the default peak reference the joint references are computed
+        with a vectorized pairwise-maximum pass; percentile references fall
+        back to a per-pair percentile (still vectorized over samples).
+        """
+        spec = spec or ReferenceSpec()
+        data = traces.matrix
+        n = traces.num_traces
+        if spec.is_peak:
+            refs = data.max(axis=1)
+        else:
+            refs = np.percentile(data, spec.percentile, axis=1)
+        matrix = np.full((n, n), NEUTRAL_COST, dtype=float)
+        for i in range(n):
+            if i + 1 >= n:
+                break
+            joint = data[i][None, :] + data[i + 1 :]
+            if spec.is_peak:
+                joint_refs = joint.max(axis=1)
+            else:
+                joint_refs = np.percentile(joint, spec.percentile, axis=1)
+            for offset, joint_ref in enumerate(joint_refs):
+                j = i + 1 + offset
+                cost = _pair_cost(float(refs[i]), float(refs[j]), float(joint_ref))
+                matrix[i, j] = cost
+                matrix[j, i] = cost
+        matrix.flags.writeable = False
+        return cls(traces.names, refs.astype(float), matrix, spec)
+
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        """VM names in positional order."""
+        return self._names
+
+    @property
+    def spec(self) -> ReferenceSpec:
+        """The reference-utilization policy the matrix was built with."""
+        return self._spec
+
+    @property
+    def size(self) -> int:
+        """Number of VMs covered."""
+        return len(self._names)
+
+    def index_of(self, name: str) -> int:
+        """Positional index of a VM name."""
+        try:
+            return self._names.index(name)
+        except ValueError:
+            raise KeyError(f"no VM named {name!r} in the cost matrix") from None
+
+    def reference(self, vm: str | int) -> float:
+        """Reference utilization ``u_hat`` of one VM over the window."""
+        index = self.index_of(vm) if isinstance(vm, str) else vm
+        return float(self._references[index])
+
+    def references(self) -> dict[str, float]:
+        """All reference utilizations keyed by VM name."""
+        return {name: float(ref) for name, ref in zip(self._names, self._references)}
+
+    def cost(self, a: str | int, b: str | int) -> float:
+        """``Cost_vm(a, b)`` — Eqn 1 (1.0 on the diagonal)."""
+        i = self.index_of(a) if isinstance(a, str) else a
+        j = self.index_of(b) if isinstance(b, str) else b
+        return float(self._matrix[i, j])
+
+    def as_array(self) -> np.ndarray:
+        """The full (read-only) symmetric cost matrix."""
+        return self._matrix
+
+    def mean_offdiagonal(self) -> float:
+        """Average pairwise cost — a population de-correlation summary."""
+        n = self.size
+        if n < 2:
+            return NEUTRAL_COST
+        total = self._matrix.sum() - np.trace(self._matrix)
+        return float(total / (n * (n - 1)))
+
+
+class StreamingCostMatrix:
+    """Online cost matrix updated one utilization vector at a time.
+
+    Maintains a :class:`~repro.analysis.stats.RunningPercentile` per VM and
+    per unordered pair.  Each :meth:`update` costs O(N^2) marker updates
+    and O(1) memory per pair — no sample buffer, which is precisely the
+    efficiency argument of Section IV-A.
+
+    For the default peak reference the streaming matrix is *exact* (a
+    running maximum is lossless); for percentile references it carries the
+    P-square approximation, whose error the property tests bound.
+    """
+
+    __slots__ = ("_names", "_spec", "_singles", "_pairs", "_count")
+
+    def __init__(self, names: Sequence[str], spec: ReferenceSpec | None = None) -> None:
+        names = tuple(names)
+        if len(set(names)) != len(names):
+            raise ValueError("VM names must be unique")
+        if not names:
+            raise ValueError("need at least one VM")
+        self._names = names
+        self._spec = spec or ReferenceSpec()
+        q = self._spec.percentile
+        self._singles = [RunningPercentile(q) for _ in names]
+        self._pairs = {
+            (i, j): RunningPercentile(q)
+            for i in range(len(names))
+            for j in range(i + 1, len(names))
+        }
+        self._count = 0
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """VM names in positional order."""
+        return self._names
+
+    @property
+    def spec(self) -> ReferenceSpec:
+        """The reference-utilization policy."""
+        return self._spec
+
+    @property
+    def count(self) -> int:
+        """Number of utilization vectors folded in so far."""
+        return self._count
+
+    @property
+    def size(self) -> int:
+        """Number of VMs covered."""
+        return len(self._names)
+
+    def index_of(self, name: str) -> int:
+        """Positional index of a VM name."""
+        try:
+            return self._names.index(name)
+        except ValueError:
+            raise KeyError(f"no VM named {name!r} in the cost matrix") from None
+
+    def update(self, utilizations: Sequence[float] | np.ndarray) -> None:
+        """Fold one per-VM utilization vector (positional order) in."""
+        values = np.asarray(utilizations, dtype=float)
+        if values.shape != (len(self._names),):
+            raise ValueError(
+                f"expected {len(self._names)} utilizations, got shape {values.shape}"
+            )
+        if np.any(values < 0) or not np.all(np.isfinite(values)):
+            raise ValueError("utilizations must be finite and non-negative")
+        for i, estimator in enumerate(self._singles):
+            estimator.update(float(values[i]))
+        for (i, j), estimator in self._pairs.items():
+            estimator.update(float(values[i] + values[j]))
+        self._count += 1
+
+    def extend(self, vectors: Iterable[Sequence[float]]) -> None:
+        """Fold an iterable of utilization vectors in."""
+        for vector in vectors:
+            self.update(vector)
+
+    def reference(self, vm: str | int) -> float:
+        """Current streaming estimate of ``u_hat`` for one VM."""
+        index = self.index_of(vm) if isinstance(vm, str) else vm
+        if self._count == 0:
+            raise ValueError("no samples observed yet")
+        return self._singles[index].value
+
+    def references(self) -> dict[str, float]:
+        """All current reference estimates keyed by VM name."""
+        return {name: self.reference(i) for i, name in enumerate(self._names)}
+
+    def cost(self, a: str | int, b: str | int) -> float:
+        """Current streaming estimate of ``Cost_vm(a, b)``."""
+        i = self.index_of(a) if isinstance(a, str) else a
+        j = self.index_of(b) if isinstance(b, str) else b
+        if i == j:
+            return NEUTRAL_COST
+        if self._count == 0:
+            raise ValueError("no samples observed yet")
+        key = (i, j) if i < j else (j, i)
+        return _pair_cost(
+            self._singles[i].value, self._singles[j].value, self._pairs[key].value
+        )
+
+    def as_array(self) -> np.ndarray:
+        """Materialise the current estimates as a symmetric array."""
+        n = len(self._names)
+        matrix = np.full((n, n), NEUTRAL_COST, dtype=float)
+        for i in range(n):
+            for j in range(i + 1, n):
+                value = self.cost(i, j)
+                matrix[i, j] = value
+                matrix[j, i] = value
+        return matrix
+
+    def reset(self) -> None:
+        """Forget all samples (e.g. at a placement-period boundary)."""
+        for estimator in self._singles:
+            estimator.reset()
+        for estimator in self._pairs.values():
+            estimator.reset()
+        self._count = 0
+
+
+def pearson_cost_matrix(traces: TraceSet) -> np.ndarray:
+    """Pearson correlation matrix over a trace window.
+
+    Provided for the metric-ablation bench: plugging Pearson's coefficient
+    into the allocator requires mapping it onto the cost scale, and the
+    ablation uses ``cost = 2 - (rho + 1)/1`` ... no — it simply ranks pairs,
+    so the raw coefficient matrix is returned and the ablation adapter in
+    :mod:`repro.experiments.ablations` converts rank order to a cost-like
+    score.  Degenerate (constant) traces correlate at 0 by convention.
+    """
+    data = traces.matrix
+    n = traces.num_traces
+    matrix = np.eye(n, dtype=float)
+    for i in range(n):
+        for j in range(i + 1, n):
+            rho = pearson(data[i], data[j])
+            matrix[i, j] = rho
+            matrix[j, i] = rho
+    return matrix

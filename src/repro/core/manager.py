@@ -1,0 +1,165 @@
+"""The periodic power-management loop (the library's main entry point).
+
+:class:`PowerManager` implements the full Section-IV pipeline for one
+placement period:
+
+1. **UPDATE** — observe the just-finished period's utilization window,
+   append each VM's observed reference utilization to its history, predict
+   the upcoming period's references (last-value by default), and build the
+   Eqn-1 cost matrix from the window.
+2. **ALLOCATE** — run the Fig-2 correlation-aware heuristic against the
+   predicted references and the Eqn-3 server estimate.
+3. **v/f** — set each active server's static frequency with Eqn 4.
+
+The replay engine (:mod:`repro.sim.engine`) drives one manager per
+compared approach; library users can also drive it directly against live
+monitoring windows, which is the deployment mode the paper describes
+(``t_period`` = 1 hour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.allocation import AllocationConfig, CorrelationAwareAllocator
+from repro.core.correlation import CostMatrix
+from repro.core.placement import Placement
+from repro.core.vf_control import correlation_aware_frequency, estimate_active_servers
+from repro.infrastructure.dvfs import FrequencyLadder, StaticVfSetting
+from repro.prediction.predictors import LastValuePredictor, Predictor
+from repro.traces.trace import ReferenceSpec, TraceSet
+
+__all__ = ["ManagerConfig", "PeriodDecision", "PowerManager"]
+
+
+@dataclass(frozen=True)
+class ManagerConfig:
+    """Static configuration of a :class:`PowerManager`.
+
+    Parameters
+    ----------
+    n_cores:
+        Cores per (homogeneous) server — the paper's ``Ncore``.
+    freq_levels_ghz:
+        The servers' discrete frequency ladder.
+    reference:
+        Reference-utilization policy (peak by default, any percentile for
+        softer QoS targets).
+    allocation:
+        Tunables of the ALLOCATE phase (``TH_cost``, ``alpha``).
+    max_servers:
+        Optional fleet-size bound passed through to the allocator.
+    default_reference:
+        Prediction used for VMs with no history yet (first period); the
+        conservative choice is the per-VM core cap, supplied by the caller.
+    """
+
+    n_cores: int
+    freq_levels_ghz: tuple[float, ...]
+    reference: ReferenceSpec = field(default_factory=ReferenceSpec)
+    allocation: AllocationConfig = field(default_factory=AllocationConfig)
+    max_servers: int | None = None
+    default_reference: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        if self.default_reference < 0:
+            raise ValueError("default_reference must be non-negative")
+
+
+@dataclass(frozen=True)
+class PeriodDecision:
+    """Everything the manager decided for one upcoming period."""
+
+    placement: Placement
+    frequencies: Mapping[int, StaticVfSetting]
+    predicted_references: Mapping[str, float]
+    estimated_servers: int
+    cost_matrix: CostMatrix
+
+    def frequency_of(self, server_index: int) -> float:
+        """Convenience: the chosen frequency of one server."""
+        return self.frequencies[server_index].freq_ghz
+
+
+class PowerManager:
+    """Periodic correlation-aware consolidation + v/f scaling."""
+
+    def __init__(
+        self,
+        config: ManagerConfig,
+        predictor: Predictor | None = None,
+    ) -> None:
+        self._config = config
+        self._predictor = predictor or LastValuePredictor(default=config.default_reference)
+        self._allocator = CorrelationAwareAllocator(config.allocation)
+        self._ladder = FrequencyLadder(config.freq_levels_ghz)
+        self._history: dict[str, list[float]] = {}
+
+    @property
+    def config(self) -> ManagerConfig:
+        """The static configuration."""
+        return self._config
+
+    @property
+    def history(self) -> Mapping[str, tuple[float, ...]]:
+        """Per-VM observed reference history (oldest first)."""
+        return {vm: tuple(values) for vm, values in self._history.items()}
+
+    def observe(self, window: TraceSet) -> dict[str, float]:
+        """UPDATE, part 1: fold an observed window into the histories.
+
+        Returns the window's observed references (useful for logging).
+        """
+        observed = window.references(self._config.reference)
+        for vm, value in observed.items():
+            self._history.setdefault(vm, []).append(value)
+        return observed
+
+    def predict(self, vm_ids: tuple[str, ...] | list[str]) -> dict[str, float]:
+        """UPDATE, part 2: predicted next-period references per VM."""
+        predictions: dict[str, float] = {}
+        for vm in vm_ids:
+            history = self._history.get(vm, [])
+            if history:
+                predictions[vm] = self._predictor.predict(history)
+            else:
+                predictions[vm] = self._config.default_reference
+        return predictions
+
+    def decide(self, window: TraceSet) -> PeriodDecision:
+        """Run one full UPDATE + ALLOCATE + v/f cycle.
+
+        ``window`` is the utilization of the period that just finished;
+        the returned decision applies to the *next* period.
+        """
+        self.observe(window)
+        predicted = self.predict(list(window.names))
+        matrix = CostMatrix.from_traces(window, self._config.reference)
+        estimated = estimate_active_servers(predicted, self._config.n_cores)
+        placement = self._allocator.allocate(
+            list(window.names),
+            predicted,
+            matrix.cost,
+            self._config.n_cores,
+            max_servers=self._config.max_servers,
+        )
+        frequencies = {
+            server: correlation_aware_frequency(
+                list(members), predicted, matrix.cost, self._ladder, self._config.n_cores
+            )
+            for server, members in placement.by_server().items()
+        }
+        return PeriodDecision(
+            placement=placement,
+            frequencies=frequencies,
+            predicted_references=predicted,
+            estimated_servers=estimated,
+            cost_matrix=matrix,
+        )
+
+    def reset(self) -> None:
+        """Drop all accumulated history (fresh deployment)."""
+        self._history.clear()

@@ -1,0 +1,84 @@
+"""The Eqn-2 per-server weighted correlation cost.
+
+For server ``i`` hosting VMs ``V_alloc_i = {VM_i,1 ... VM_i,n}``:
+
+``Cost_server_i = sum_j w_j * ( sum_{k != j} Cost_vm(j, k) / (n - 1) )``
+
+with weights ``w_j = u_hat(VM_j) / sum_k u_hat(VM_k)`` over the co-located
+VMs.  Intuitively: each VM contributes the *average* of its pairwise costs
+against its co-residents, weighted by how much of the server's demand it
+is responsible for.  The value feeds two decisions:
+
+* the ALLOCATE phase picks, for the server under consideration, the
+  unallocated VM that *maximises* the prospective server cost, and
+* the Eqn-4 frequency controller divides the worst-case peak frequency by
+  it (Fig 3 shows it is an empirical lower bound of the achievable
+  slowdown).
+
+Degenerate cases follow the conservative convention of the cost metric: a
+server with zero or one VM, or with all-zero references, has cost 1.0 (no
+multiplexing headroom to exploit).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+__all__ = ["server_correlation_cost", "prospective_server_cost", "CostFn"]
+
+#: Pairwise cost lookup; both the exact and streaming matrices conform.
+CostFn = Callable[[str, str], float]
+
+
+def server_correlation_cost(
+    members: Sequence[str],
+    references: Mapping[str, float],
+    cost_fn: CostFn,
+) -> float:
+    """Eqn 2 for the given co-located VM set.
+
+    Parameters
+    ----------
+    members:
+        VM ids on the server.
+    references:
+        ``u_hat`` per VM id (the weights' numerators).
+    cost_fn:
+        Pairwise cost lookup, typically ``CostMatrix.cost``.
+    """
+    n = len(members)
+    if len(set(members)) != n:
+        raise ValueError("duplicate VM ids in server member list")
+    if n <= 1:
+        return 1.0
+    total_ref = sum(references[vm] for vm in members)
+    if total_ref <= 0.0:
+        return 1.0
+    cost = 0.0
+    for j, vm_j in enumerate(members):
+        weight = references[vm_j] / total_ref
+        if weight == 0.0:
+            continue
+        pair_sum = 0.0
+        for k, vm_k in enumerate(members):
+            if k == j:
+                continue
+            pair_sum += cost_fn(vm_j, vm_k)
+        cost += weight * pair_sum / (n - 1)
+    return cost
+
+
+def prospective_server_cost(
+    members: Sequence[str],
+    candidate: str,
+    references: Mapping[str, float],
+    cost_fn: CostFn,
+) -> float:
+    """Eqn 2 evaluated as if ``candidate`` were already placed.
+
+    This is the quantity the ALLOCATE phase maximises when choosing the
+    next VM for the selected server (Fig 2, line 11).
+    """
+    if candidate in members:
+        raise ValueError(f"{candidate!r} is already a member")
+    return server_correlation_cost([*members, candidate], references, cost_fn)

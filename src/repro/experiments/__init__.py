@@ -1,0 +1,36 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module exposes ``run(fast=False) -> ExperimentResult``; the registry
+maps experiment ids (``fig1`` ... ``table2``) to those callables for the
+CLI and the benchmarks.  ``fast=True`` shrinks workloads for smoke tests
+while preserving every qualitative claim.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments import (
+    ablations,
+    fig1,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    qos_sweep,
+    robustness,
+    table1,
+    table2,
+)
+
+EXPERIMENTS = {
+    "fig1": fig1.run,
+    "table1": table1.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "table2": table2.run,
+    "fig6": fig6.run,
+    "ablations": ablations.run,
+    "qos_sweep": qos_sweep.run,
+    "robustness": robustness.run,
+}
+
+__all__ = ["ExperimentResult", "EXPERIMENTS"]

@@ -1,0 +1,180 @@
+"""Ablation studies of the design choices DESIGN.md calls out.
+
+Not part of the paper's tables — these quantify the knobs the paper
+leaves unspecified and the design decisions our reproduction makes:
+
+* **TH_cost sweep** — the initial correlation threshold of the ALLOCATE
+  phase;
+* **alpha sweep** — the threshold degeneration factor;
+* **predictor ablation** — last-value (the paper's) vs moving-average,
+  EWMA and max-over-history;
+* **metric ablation** — the Eqn-1 cost against a Pearson-derived cost in
+  the same allocator, quantifying the paper's claim that its metric
+  captures what matters at the peaks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_table
+from repro.core.allocation import AllocationConfig
+from repro.core.correlation import pearson_cost_matrix
+from repro.experiments.base import ExperimentResult
+from repro.experiments.setup2 import Setup2Config, build_fine_traces
+from repro.prediction.predictors import (
+    EwmaPredictor,
+    LastValuePredictor,
+    MaxOverHistoryPredictor,
+    MovingAveragePredictor,
+)
+from repro.sim.approaches import ProposedApproach
+from repro.sim.engine import ReplayConfig, replay
+from repro.traces.trace import TraceSet
+
+__all__ = ["run", "pearson_cost_adapter"]
+
+
+def pearson_cost_adapter(window: TraceSet):
+    """A cost function derived from Pearson's correlation.
+
+    Maps the coefficient ``rho`` in [-1, 1] onto the Eqn-1 cost scale
+    [1, 2] with ``cost = 1.5 - rho / 2`` — rank-preserving (low
+    correlation = high cost) so the allocator's comparisons behave the
+    same way they do with the native metric.  Used by the metric
+    ablation; Section IV-A's argument is about computation/memory cost
+    and peak-sensitivity, and this adapter lets us measure the latter.
+    """
+    matrix = pearson_cost_matrix(window)
+    names = list(window.names)
+    index = {name: i for i, name in enumerate(names)}
+
+    def cost(a: str, b: str) -> float:
+        rho = matrix[index[a], index[b]]
+        return 1.5 - rho / 2.0
+
+    return cost
+
+
+class PearsonProposedApproach(ProposedApproach):
+    """The proposed allocator with Pearson correlation as the pair cost."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.name = "Proposed (Pearson)"
+
+    def decide(self, window: TraceSet):
+        from repro.core.vf_control import correlation_aware_frequency
+        from repro.sim.approaches import ApproachDecision
+
+        predicted = self._refs.observe_and_predict(window)
+        cost_fn = pearson_cost_adapter(window)
+        placement = self._allocator.allocate(
+            list(window.names), predicted, cost_fn, self._n_cores, self._max_servers
+        )
+        frequencies = {
+            server: correlation_aware_frequency(
+                list(members), predicted, cost_fn, self._ladder, self._n_cores
+            )
+            for server, members in placement.by_server().items()
+        }
+        return ApproachDecision(placement, frequencies, predicted)
+
+
+def _replay_proposed(
+    fine: TraceSet,
+    config: Setup2Config,
+    allocation: AllocationConfig | None = None,
+    predictor=None,
+    approach_cls=ProposedApproach,
+    name: str | None = None,
+):
+    approach = approach_cls(
+        config.spec.n_cores,
+        config.spec.freq_levels_ghz,
+        max_servers=config.num_servers,
+        allocation=allocation or config.allocation,
+        predictor=predictor,
+        default_reference=config.traces.vm_core_cap,
+    )
+    if name:
+        approach.name = name
+    return replay(
+        fine,
+        config.spec,
+        config.num_servers,
+        approach,
+        ReplayConfig(tperiod_s=config.tperiod_s),
+    )
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Run all four ablations on one shared trace population."""
+    config = Setup2Config()
+    if fast:
+        config = config.fast_variant()
+    fine = build_fine_traces(config)
+
+    # --- TH_cost sweep --------------------------------------------------
+    th_rows = []
+    th_data = {}
+    for th in (1.0, 1.05, 1.10, 1.20, 1.40):
+        result = _replay_proposed(
+            fine, config, allocation=AllocationConfig(th_cost=th), name=f"TH={th}"
+        )
+        th_rows.append((f"{th:.2f}", result.avg_power_w, result.max_violation_pct))
+        th_data[th] = result
+
+    # --- alpha sweep ------------------------------------------------------
+    alpha_rows = []
+    alpha_data = {}
+    for alpha in (0.5, 0.7, 0.9, 0.99):
+        result = _replay_proposed(
+            fine, config, allocation=AllocationConfig(alpha=alpha), name=f"alpha={alpha}"
+        )
+        alpha_rows.append((f"{alpha:.2f}", result.avg_power_w, result.max_violation_pct))
+        alpha_data[alpha] = result
+
+    # --- predictor ablation ----------------------------------------------
+    default = config.traces.vm_core_cap
+    predictors = {
+        "last-value": LastValuePredictor(default),
+        "moving-average(3)": MovingAveragePredictor(3, default),
+        "ewma(0.5)": EwmaPredictor(0.5, default),
+        "max-over-history(3)": MaxOverHistoryPredictor(3, default),
+    }
+    predictor_rows = []
+    predictor_data = {}
+    for label, predictor in predictors.items():
+        result = _replay_proposed(fine, config, predictor=predictor, name=label)
+        predictor_rows.append((label, result.avg_power_w, result.max_violation_pct))
+        predictor_data[label] = result
+
+    # --- metric ablation ----------------------------------------------------
+    native = _replay_proposed(fine, config)
+    pearson = _replay_proposed(fine, config, approach_cls=PearsonProposedApproach)
+    metric_rows = [
+        ("Eqn-1 cost", native.avg_power_w, native.max_violation_pct),
+        ("Pearson-derived cost", pearson.avg_power_w, pearson.max_violation_pct),
+    ]
+
+    headers = ["setting", "avg power (W)", "max violations (%)"]
+    sections = {
+        "th_cost": ascii_table(headers, th_rows, title="Initial threshold TH_cost"),
+        "alpha": ascii_table(headers, alpha_rows, title="Degeneration factor alpha"),
+        "predictor": ascii_table(headers, predictor_rows, title="Workload predictor"),
+        "metric": ascii_table(headers, metric_rows, title="Correlation metric"),
+    }
+    data = {
+        "th_results": th_data,
+        "alpha_results": alpha_data,
+        "predictor_results": predictor_data,
+        "native_metric": native,
+        "pearson_metric": pearson,
+    }
+    return ExperimentResult(
+        experiment_id="ablations",
+        title="Design-choice ablations (threshold, alpha, predictor, metric)",
+        sections=sections,
+        data=data,
+    )

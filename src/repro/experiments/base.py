@@ -1,0 +1,43 @@
+"""Common experiment result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Output of one experiment driver.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry key (``"fig5"``, ``"table2"``, ...).
+    title:
+        Human-readable description matching the paper's caption.
+    sections:
+        Rendered text blocks (tables, histograms, series) in display
+        order, keyed by a short section name.
+    data:
+        Structured values for programmatic assertions — the benchmarks
+        and integration tests check the paper's qualitative claims
+        against these, never against the rendered text.
+    """
+
+    experiment_id: str
+    title: str
+    sections: Mapping[str, str]
+    data: Mapping[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """The full report as printable text."""
+        header = f"[{self.experiment_id}] {self.title}"
+        parts = [header, "=" * len(header)]
+        for name, block in self.sections.items():
+            parts.append("")
+            parts.append(f"-- {name} --")
+            parts.append(block)
+        return "\n".join(parts)

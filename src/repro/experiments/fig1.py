@@ -1,0 +1,63 @@
+"""Fig 1 — intra-cluster correlation of two ISNs with the client count.
+
+The paper plots the CPU utilization of the two ISNs of one web-search
+cluster against the varying client population and observes that both are
+"highly synchronized with the variation of the number of clients" while
+not perfectly balanced against each other.  The driver regenerates the
+three series and quantifies the claims: Pearson correlation of each ISN
+against the client count (close to 1) and the persistent load imbalance
+between the siblings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_series, ascii_table
+from repro.analysis.stats import pearson
+from repro.experiments.base import ExperimentResult
+from repro.experiments.setup1 import Setup1Config, websearch_clusters
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Fig 1's series and correlation summary."""
+    config = Setup1Config(duration_s=300.0 if fast else 600.0)
+    cluster1, _ = websearch_clusters(config)
+    rng = np.random.default_rng(config.seed)
+    traces = cluster1.isn_demand_traces(config.duration_s, period_s=1.0, rng=rng)
+    times = traces[0].times()
+    clients = cluster1.client_load.sample(times)
+
+    isn1, isn2 = traces[0], traces[1]
+    rows = [
+        ("VM1,1 vs clients", pearson(isn1.samples, clients)),
+        ("VM1,2 vs clients", pearson(isn2.samples, clients)),
+        ("VM1,1 vs VM1,2", pearson(isn1.samples, isn2.samples)),
+    ]
+    imbalance = float(np.mean(np.abs(isn1.samples - isn2.samples)))
+
+    sections = {
+        "clients": ascii_series(clients, title="Number of clients"),
+        "vm1_1": ascii_series(isn1.samples, title="VM1,1 CPU utilization (cores)"),
+        "vm1_2": ascii_series(isn2.samples, title="VM1,2 CPU utilization (cores)"),
+        "correlations": ascii_table(
+            ["pair", "Pearson correlation"], rows, title="Intra-cluster correlation"
+        ),
+    }
+    data = {
+        "corr_isn1_clients": rows[0][1],
+        "corr_isn2_clients": rows[1][1],
+        "corr_isn1_isn2": rows[2][1],
+        "mean_abs_imbalance_cores": imbalance,
+        "clients": clients,
+        "isn1": isn1.samples,
+        "isn2": isn2.samples,
+    }
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="CPU utilization of two ISNs vs. number of clients",
+        sections=sections,
+        data=data,
+    )

@@ -1,0 +1,105 @@
+"""Fig 5 — 90th-percentile response times of the three placements.
+
+The paper's headline Setup-1 result: sharing cores cuts the p90 response
+time by ~44% versus segregated slices; correlation-aware sharing cuts
+another ~8%; and Shared-Corr at the *reduced* 1.9 GHz matches
+Shared-UnCorr at 2.1 GHz — the latency slack bought by de-correlation is
+converted into ~12% power savings.
+
+This driver runs the fork-join queueing simulator for all four
+configurations and reports p90 per cluster plus the implied power saving
+of the frequency drop (using the Opteron power model over the measured
+utilization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_table
+from repro.experiments.base import ExperimentResult
+from repro.experiments.setup1 import (
+    PLACEMENT_BUILDERS,
+    Setup1Config,
+    shared_corr_scenario,
+)
+from repro.infrastructure.server import OPTERON_6174
+from repro.workloads.queueing import ForkJoinQueueingSimulator, QueueingResult
+
+__all__ = ["run", "run_configuration"]
+
+
+def run_configuration(
+    config: Setup1Config, placement: str, freq_ghz: float
+) -> QueueingResult:
+    """Simulate one placement at one frequency."""
+    try:
+        builder = PLACEMENT_BUILDERS[placement]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement {placement!r} (valid: {sorted(PLACEMENT_BUILDERS)})"
+        ) from None
+    clusters, regions = builder(config, freq_ghz)
+    simulator = ForkJoinQueueingSimulator(clusters, regions, config.queueing())
+    return simulator.run()
+
+
+def _avg_power_w(result: QueueingResult, freq_ghz: float) -> float:
+    """Average two-server power implied by the measured utilization."""
+    spec = OPTERON_6174
+    demand = result.utilization.aggregate().samples
+    # Both servers active throughout; split demand evenly for the power
+    # estimate (the placements are symmetric across the two servers).
+    per_server = demand / 2.0
+    busy = np.minimum(per_server / spec.capacity_at(freq_ghz), 1.0)
+    idle = spec.power_model.idle_power_w(freq_ghz)
+    peak = spec.power_model.busy_power_w(freq_ghz)
+    return float(2.0 * (idle + (peak - idle) * busy).mean())
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Fig 5's bar values (p90 per cluster per configuration)."""
+    config = Setup1Config(duration_s=300.0 if fast else 600.0)
+    configurations = [
+        ("Segregated", 2.1),
+        ("Shared-UnCorr", 2.1),
+        ("Shared-Corr", 2.1),
+        ("Shared-Corr", 1.9),
+    ]
+    rows = []
+    p90: dict[str, tuple[float, float]] = {}
+    power: dict[str, float] = {}
+    for placement, freq in configurations:
+        label = f"{placement} ({freq}GHz)"
+        result = run_configuration(config, placement, freq)
+        c1 = result.p90_response_s("Cluster1")
+        c2 = result.p90_response_s("Cluster2")
+        p90[label] = (c1, c2)
+        power[label] = _avg_power_w(result, freq)
+        rows.append((label, c1, c2, power[label]))
+
+    table = ascii_table(
+        ["configuration", "Cluster1 p90 (s)", "Cluster2 p90 (s)", "avg power (W)"],
+        rows,
+        title="90th percentile response time per placement",
+    )
+
+    base = p90["Shared-Corr (2.1GHz)"]
+    uncorr = p90["Shared-UnCorr (2.1GHz)"]
+    seg = p90["Segregated (2.1GHz)"]
+    lowfreq = p90["Shared-Corr (1.9GHz)"]
+    power_saving = 1.0 - power["Shared-Corr (1.9GHz)"] / power["Shared-Corr (2.1GHz)"]
+    data = {
+        "p90": p90,
+        "power_w": power,
+        "sharing_gain_pct": (1.0 - uncorr[0] / seg[0]) * 100.0,
+        "correlation_gain_pct": (1.0 - base[0] / uncorr[0]) * 100.0,
+        "lowfreq_vs_uncorr_ratio": lowfreq[0] / uncorr[0],
+        "frequency_power_saving_pct": power_saving * 100.0,
+    }
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="p90 response time of Cluster1/Cluster2 under three placements",
+        sections={"table": table},
+        data=data,
+    )

@@ -1,0 +1,137 @@
+"""Shared Setup-2 pipeline: datacenter traces through the replay engine.
+
+The paper's Section V-B methodology: top-40 VMs of a production
+datacenter, 5-minute samples over 24 hours, refined to 5-second samples
+with a lognormal generator; a virtual fleet of twenty 8-core Xeon E5410
+servers (2.0 / 2.3 GHz); placement every hour with a last-value
+predictor; static and dynamic v/f variants.  Everything behind Table II
+and Fig 6 runs through :func:`run_setup2`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.pcp import PcpConfig
+from repro.core.allocation import AllocationConfig
+from repro.infrastructure.server import XEON_E5410, ServerSpec
+from repro.sim.approaches import BfdApproach, PcpApproach, ProposedApproach
+from repro.sim.engine import ReplayConfig, replay
+from repro.sim.results import ReplayResult
+from repro.traces.datacenter import DatacenterTraceConfig, generate_datacenter_traces
+from repro.traces.synthesis import refine_trace_set
+from repro.traces.trace import TraceSet
+
+__all__ = ["Setup2Config", "Setup2Outcome", "build_fine_traces", "run_setup2"]
+
+
+@dataclass(frozen=True)
+class Setup2Config:
+    """Full parameterisation of the Setup-2 evaluation."""
+
+    traces: DatacenterTraceConfig = field(default_factory=DatacenterTraceConfig)
+    spec: ServerSpec = XEON_E5410
+    num_servers: int = 20
+    fine_period_s: float = 5.0
+    synthesis_sigma: float = 0.04
+    tperiod_s: float = 3600.0
+    dvfs_interval_samples: int = 12
+    allocation: AllocationConfig = field(default_factory=AllocationConfig)
+    pcp: PcpConfig = field(default_factory=PcpConfig)
+
+    def fast_variant(self) -> "Setup2Config":
+        """A shrunk configuration for smoke tests (6 hours, 16 VMs)."""
+        traces = DatacenterTraceConfig(
+            num_vms=16,
+            num_clusters=4,
+            duration_s=6 * 3600.0,
+            seed=self.traces.seed,
+        )
+        return Setup2Config(
+            traces=traces,
+            spec=self.spec,
+            num_servers=10,
+            fine_period_s=self.fine_period_s,
+            synthesis_sigma=self.synthesis_sigma,
+            tperiod_s=self.tperiod_s,
+            dvfs_interval_samples=self.dvfs_interval_samples,
+            allocation=self.allocation,
+            pcp=self.pcp,
+        )
+
+
+@dataclass(frozen=True)
+class Setup2Outcome:
+    """Replay results of the three approaches on one trace population."""
+
+    fine_traces: TraceSet
+    results: tuple[ReplayResult, ...]
+
+    def result(self, approach_name: str) -> ReplayResult:
+        """Look one approach's result up by display name."""
+        for result in self.results:
+            if result.approach_name == approach_name:
+                return result
+        raise KeyError(f"no result named {approach_name!r}")
+
+
+def build_fine_traces(config: Setup2Config) -> TraceSet:
+    """Generate the coarse population and refine it to fine samples."""
+    coarse, _membership = generate_datacenter_traces(config.traces)
+    rng = np.random.default_rng(config.traces.seed + 1)
+    return refine_trace_set(
+        coarse,
+        config.fine_period_s,
+        sigma=config.synthesis_sigma,
+        rng=rng,
+        cap=config.traces.vm_core_cap,
+    )
+
+
+def run_setup2(
+    config: Setup2Config | None = None,
+    dvfs_mode: str = "static",
+    fine_traces: TraceSet | None = None,
+) -> Setup2Outcome:
+    """Replay BFD, PCP and the proposed scheme on one population.
+
+    ``fine_traces`` may be passed in to share one refined population
+    across the static and dynamic variants (as the paper does).
+    """
+    config = config or Setup2Config()
+    if fine_traces is None:
+        fine_traces = build_fine_traces(config)
+    replay_config = ReplayConfig(
+        tperiod_s=config.tperiod_s,
+        dvfs_mode=dvfs_mode,
+        dvfs_interval_samples=config.dvfs_interval_samples,
+    )
+    n_cores = config.spec.n_cores
+    levels = config.spec.freq_levels_ghz
+    default_ref = config.traces.vm_core_cap
+    approaches = [
+        BfdApproach(
+            n_cores, levels, max_servers=config.num_servers, default_reference=default_ref
+        ),
+        PcpApproach(
+            n_cores,
+            levels,
+            max_servers=config.num_servers,
+            pcp=config.pcp,
+            default_reference=default_ref,
+        ),
+        ProposedApproach(
+            n_cores,
+            levels,
+            max_servers=config.num_servers,
+            allocation=config.allocation,
+            default_reference=default_ref,
+        ),
+    ]
+    results = tuple(
+        replay(fine_traces, config.spec, config.num_servers, approach, replay_config)
+        for approach in approaches
+    )
+    return Setup2Outcome(fine_traces=fine_traces, results=results)

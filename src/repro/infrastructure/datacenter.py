@@ -1,0 +1,108 @@
+"""Homogeneous server fleet.
+
+The paper's Setup-2 is "a virtual testbed consisting of 20 servers"
+targeting the Xeon E5410 configuration; :class:`Datacenter` models such a
+fleet and provides the bookkeeping the replay simulator needs (active
+server count, aggregate power at a snapshot).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.infrastructure.server import Server, ServerSpec
+
+__all__ = ["Datacenter"]
+
+
+class Datacenter:
+    """A fleet of identical servers.
+
+    Heterogeneous fleets are out of the paper's scope ("we assume that
+    servers are homogeneous"); enforcing homogeneity here keeps every
+    capacity comparison in the allocator a plain scalar comparison.
+    """
+
+    __slots__ = ("_spec", "_servers")
+
+    def __init__(self, spec: ServerSpec, num_servers: int) -> None:
+        if num_servers < 1:
+            raise ValueError("a datacenter needs at least one server")
+        self._spec = spec
+        self._servers = [Server(spec, f"server{i:02d}") for i in range(num_servers)]
+
+    @property
+    def spec(self) -> ServerSpec:
+        """The common server model."""
+        return self._spec
+
+    @property
+    def servers(self) -> tuple[Server, ...]:
+        """All servers, in stable positional order."""
+        return tuple(self._servers)
+
+    @property
+    def num_servers(self) -> int:
+        """Fleet size."""
+        return len(self._servers)
+
+    @property
+    def num_active(self) -> int:
+        """Servers currently hosting at least one VM."""
+        return sum(1 for server in self._servers if server.is_active)
+
+    @property
+    def total_capacity(self) -> float:
+        """Fleet capacity at fmax, in cores-at-fmax."""
+        return self._spec.max_capacity * self.num_servers
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __iter__(self) -> Iterator[Server]:
+        return iter(self._servers)
+
+    def __getitem__(self, index: int) -> Server:
+        return self._servers[index]
+
+    def server_by_id(self, server_id: str) -> Server:
+        """Look a server up by identifier."""
+        for server in self._servers:
+            if server.server_id == server_id:
+                return server
+        raise KeyError(f"no server with id {server_id!r}")
+
+    def clear(self) -> None:
+        """Empty every server (start of a new placement period)."""
+        for server in self._servers:
+            server.clear()
+
+    def apply_placement(
+        self, assignment: Mapping[str, int], references: Mapping[str, float]
+    ) -> None:
+        """Load a ``{vm_id: server_index}`` assignment onto the fleet.
+
+        Clears the current state first; raises if any VM does not fit,
+        because a placement that violates the capacity invariant must never
+        be silently accepted.
+        """
+        self.clear()
+        for vm_id, server_index in assignment.items():
+            if not 0 <= server_index < len(self._servers):
+                raise ValueError(f"server index {server_index} out of range for {vm_id}")
+            self._servers[server_index].place(vm_id, references[vm_id])
+
+    def snapshot_power_w(self, demand_by_server: Sequence[float]) -> float:
+        """Total fleet power for per-server demands (cores-at-fmax).
+
+        Inactive servers draw nothing; each active server is evaluated at
+        its own current frequency.
+        """
+        if len(demand_by_server) != len(self._servers):
+            raise ValueError(
+                f"expected {len(self._servers)} demands, got {len(demand_by_server)}"
+            )
+        total = 0.0
+        for server, demand in zip(self._servers, demand_by_server):
+            total += self._spec.power_w(demand, server.freq_ghz, active=server.is_active)
+        return total

@@ -1,0 +1,177 @@
+"""Frequency ladders and generic DVFS mechanisms.
+
+The *policies* that pick a frequency live with their owners — Eqn 4 in
+:mod:`repro.core.vf_control` for the proposed scheme, peak-sum
+provisioning for the static baselines — but they all share the mechanisms
+here: a discrete :class:`FrequencyLadder` with safe (round-up)
+quantization, a :class:`StaticVfSetting` fixed for a whole placement
+period, and the :class:`UtilizationTrackingPolicy` used by every approach
+in the dynamic-v/f experiment of Table II(b).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["FrequencyLadder", "StaticVfSetting", "UtilizationTrackingPolicy"]
+
+
+class FrequencyLadder:
+    """A sorted, discrete set of supported frequencies.
+
+    Quantization is always *upwards* by default: a target frequency
+    computed from a demand estimate must never be rounded below it, or the
+    capacity check the target encodes would be silently violated.
+    """
+
+    __slots__ = ("_levels",)
+
+    def __init__(self, levels_ghz: Sequence[float]) -> None:
+        levels = tuple(sorted(set(float(f) for f in levels_ghz)))
+        if not levels:
+            raise ValueError("a frequency ladder needs at least one level")
+        if any(f <= 0 for f in levels):
+            raise ValueError("frequency levels must be positive")
+        self._levels = levels
+
+    @property
+    def levels_ghz(self) -> tuple[float, ...]:
+        """Supported levels, ascending."""
+        return self._levels
+
+    @property
+    def fmin_ghz(self) -> float:
+        """Lowest level."""
+        return self._levels[0]
+
+    @property
+    def fmax_ghz(self) -> float:
+        """Highest level."""
+        return self._levels[-1]
+
+    @property
+    def num_levels(self) -> int:
+        """Number of discrete levels."""
+        return len(self._levels)
+
+    def index_of(self, freq_ghz: float) -> int:
+        """Positional index of an exact level."""
+        try:
+            return self._levels.index(freq_ghz)
+        except ValueError:
+            raise ValueError(
+                f"{freq_ghz} GHz is not a ladder level (valid: {self._levels})"
+            ) from None
+
+    def quantize_up(self, target_ghz: float) -> float:
+        """Smallest level >= ``target_ghz`` (clamped to ``fmax`` above).
+
+        This is the "safe" rounding used everywhere a frequency encodes a
+        capacity requirement.  Non-finite targets (e.g. a demand estimate
+        divided by a zero cost) clamp to ``fmax``.
+        """
+        if not math.isfinite(target_ghz):
+            return self.fmax_ghz
+        if target_ghz <= self._levels[0]:
+            return self._levels[0]
+        index = bisect.bisect_left(self._levels, target_ghz)
+        if index >= len(self._levels):
+            return self.fmax_ghz
+        return self._levels[index]
+
+    def quantize_down(self, target_ghz: float) -> float:
+        """Largest level <= ``target_ghz`` (clamped to ``fmin`` below)."""
+        if not math.isfinite(target_ghz):
+            return self.fmax_ghz
+        if target_ghz >= self._levels[-1]:
+            return self._levels[-1]
+        index = bisect.bisect_right(self._levels, target_ghz) - 1
+        if index < 0:
+            return self._levels[0]
+        return self._levels[index]
+
+    def __contains__(self, freq_ghz: object) -> bool:
+        return freq_ghz in self._levels
+
+    def __iter__(self):
+        return iter(self._levels)
+
+    def __repr__(self) -> str:
+        return f"FrequencyLadder({list(self._levels)})"
+
+
+@dataclass(frozen=True)
+class StaticVfSetting:
+    """A frequency fixed for one whole placement period (Table II(a)).
+
+    The static experiment sets the v/f level once, "at the time of VM
+    placement"; this record carries the chosen level plus the target it
+    was quantized from, which the ablation benches report.
+    """
+
+    freq_ghz: float
+    target_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.freq_ghz <= 0:
+            raise ValueError("frequency must be positive")
+
+
+class UtilizationTrackingPolicy:
+    """Periodic utilization-driven DVFS (the Table II(b) mechanism).
+
+    Every ``interval_samples`` samples (the paper uses 12 samples = 1
+    minute at a 5-second period, chosen to avoid reliability-degrading v/f
+    oscillation), the policy picks the smallest frequency whose capacity
+    covers the recent demand peak times a headroom factor.
+
+    All three compared approaches use this same reactive policy in the
+    dynamic experiment; they differ only in *placement*, which is what
+    makes the violation gap attributable to correlation-aware allocation.
+    """
+
+    __slots__ = ("_interval", "_headroom")
+
+    def __init__(self, interval_samples: int = 12, headroom: float = 1.0) -> None:
+        if interval_samples < 1:
+            raise ValueError("interval must be at least one sample")
+        if headroom < 1.0:
+            raise ValueError("headroom below 1.0 would deliberately under-provision")
+        self._interval = interval_samples
+        self._headroom = headroom
+
+    @property
+    def interval_samples(self) -> int:
+        """Samples between frequency re-evaluations."""
+        return self._interval
+
+    @property
+    def headroom(self) -> float:
+        """Multiplicative safety margin on the observed demand."""
+        return self._headroom
+
+    def choose(
+        self,
+        recent_demand_cores: Sequence[float] | np.ndarray,
+        ladder: FrequencyLadder,
+        n_cores: int,
+    ) -> float:
+        """Frequency for the next interval from the last interval's demand.
+
+        ``recent_demand_cores`` is the aggregate server demand (cores at
+        fmax) over the previous interval; an empty window (e.g. the very
+        first interval) provisions at ``fmax``.
+        """
+        demand = np.asarray(recent_demand_cores, dtype=float)
+        if demand.size == 0:
+            return ladder.fmax_ghz
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        peak = float(demand.max()) * self._headroom
+        target = ladder.fmax_ghz * peak / n_cores
+        return ladder.quantize_up(target)

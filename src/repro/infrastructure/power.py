@@ -1,0 +1,156 @@
+"""Server power model with voltage/frequency scaling.
+
+The paper uses the virtualized-server power model of Pedram & Hwang,
+"Power and performance modeling in a virtualized server system" (ICPPW
+2010): server power is affine in CPU utilization at a fixed v/f point, and
+the dynamic component scales with ``V^2 * f`` across v/f points.  We model
+
+``P(u, f) = P_idle(f) + (P_busy(f) - P_idle(f)) * u_busy``
+
+where ``u_busy`` is the busy fraction of the server *at frequency f* and
+
+* ``P_idle(f) = p_static + p_idle_dyn * (V(f)/Vmax)^2 * (f/fmax)`` — leakage
+  plus the clock-tree/uncore switching that persists while idling,
+* ``P_busy(f) = P_idle(f) + p_core_dyn * (V(f)/Vmax)^2 * (f/fmax)`` — adds
+  the core switching power at full load.
+
+An inactive server (no VMs) draws zero: consolidation's whole point is
+that emptied servers are suspended, and the paper's "number of active
+servers is minimized" objective implies exactly this accounting.
+
+Absolute wattages are calibration constants, not measurements — the paper
+reports *normalized* power, and the experiments here do too.  The presets
+use public TDP/idle figures for the two testbed CPUs so the magnitudes are
+plausible (a dual-socket Harpertown server idling near 200 W, an R815 near
+280 W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["DvfsPowerModel", "XEON_E5410_POWER", "OPTERON_6174_POWER"]
+
+
+@dataclass(frozen=True)
+class DvfsPowerModel:
+    """Affine-in-utilization server power with ``V^2 f`` DVFS scaling.
+
+    Parameters
+    ----------
+    p_static_w:
+        Voltage/frequency-independent floor (fans, disks, leakage at the
+        shared rail) drawn whenever the server is active.
+    p_idle_dyn_w:
+        Dynamic idle power at the maximum v/f point; scales with
+        ``(V/Vmax)^2 * (f/fmax)``.
+    p_core_dyn_w:
+        Additional dynamic power at 100% busy at the maximum v/f point;
+        scales the same way, multiplied by the busy fraction.
+    voltage_by_freq_ghz:
+        Supply voltage at each supported frequency (GHz -> volts).  The
+        frequencies of this mapping define the valid operating points.
+    """
+
+    p_static_w: float
+    p_idle_dyn_w: float
+    p_core_dyn_w: float
+    voltage_by_freq_ghz: Mapping[float, float]
+    _freqs: tuple[float, ...] = field(init=False, repr=False, compare=False, default=())
+
+    def __post_init__(self) -> None:
+        if self.p_static_w < 0 or self.p_idle_dyn_w < 0 or self.p_core_dyn_w < 0:
+            raise ValueError("power components must be non-negative")
+        freqs = tuple(sorted(self.voltage_by_freq_ghz))
+        if not freqs:
+            raise ValueError("need at least one frequency level")
+        if any(f <= 0 for f in freqs):
+            raise ValueError("frequencies must be positive")
+        if any(self.voltage_by_freq_ghz[f] <= 0 for f in freqs):
+            raise ValueError("voltages must be positive")
+        volts = [self.voltage_by_freq_ghz[f] for f in freqs]
+        if any(v2 < v1 for v1, v2 in zip(volts, volts[1:])):
+            raise ValueError("voltage must be non-decreasing in frequency")
+        object.__setattr__(self, "_freqs", freqs)
+
+    @property
+    def frequencies_ghz(self) -> tuple[float, ...]:
+        """Supported frequencies, ascending."""
+        return self._freqs
+
+    @property
+    def fmax_ghz(self) -> float:
+        """Maximum supported frequency."""
+        return self._freqs[-1]
+
+    def _scale(self, freq_ghz: float) -> float:
+        """The ``(V/Vmax)^2 * (f/fmax)`` dynamic-power scale factor."""
+        try:
+            voltage = self.voltage_by_freq_ghz[freq_ghz]
+        except KeyError:
+            raise ValueError(
+                f"{freq_ghz} GHz is not an operating point of this model "
+                f"(valid: {self._freqs})"
+            ) from None
+        vmax = self.voltage_by_freq_ghz[self.fmax_ghz]
+        return (voltage / vmax) ** 2 * (freq_ghz / self.fmax_ghz)
+
+    def idle_power_w(self, freq_ghz: float) -> float:
+        """Active-but-idle power at ``freq_ghz``."""
+        return self.p_static_w + self.p_idle_dyn_w * self._scale(freq_ghz)
+
+    def busy_power_w(self, freq_ghz: float) -> float:
+        """Fully-busy power at ``freq_ghz``."""
+        return self.idle_power_w(freq_ghz) + self.p_core_dyn_w * self._scale(freq_ghz)
+
+    def power_w(self, busy_fraction: float, freq_ghz: float, active: bool = True) -> float:
+        """Server power at the given busy fraction and frequency.
+
+        ``busy_fraction`` is the fraction of cycles the cores are busy at
+        frequency ``freq_ghz`` (0..1); callers convert demand expressed in
+        cores-at-fmax into a busy fraction via the server's capacity at
+        ``freq_ghz``.  Demand beyond capacity saturates at 1.0 — an
+        overloaded server burns full power while violating QoS, it does not
+        burn more than full power.
+        """
+        if not active:
+            return 0.0
+        if busy_fraction < 0:
+            raise ValueError(f"busy fraction must be non-negative, got {busy_fraction}")
+        u = min(busy_fraction, 1.0)
+        idle = self.idle_power_w(freq_ghz)
+        busy = self.busy_power_w(freq_ghz)
+        return idle + (busy - idle) * u
+
+    def energy_j(
+        self, busy_fraction: float, freq_ghz: float, duration_s: float, active: bool = True
+    ) -> float:
+        """Energy over ``duration_s`` at a constant operating point."""
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        return self.power_w(busy_fraction, freq_ghz, active) * duration_s
+
+
+# ---------------------------------------------------------------------------
+# Calibrated presets for the paper's two testbeds.
+# ---------------------------------------------------------------------------
+
+#: Intel Xeon E5410-based server (Setup-2's simulated fleet): 8 cores,
+#: 2.0 / 2.3 GHz.  Dual-socket Harpertown boxes idle around 200 W and peak
+#: around 320 W; voltages approximate the E5410 VID range.
+XEON_E5410_POWER = DvfsPowerModel(
+    p_static_w=130.0,
+    p_idle_dyn_w=70.0,
+    p_core_dyn_w=120.0,
+    voltage_by_freq_ghz={2.0: 1.10, 2.3: 1.225},
+)
+
+#: AMD Opteron 6174-based DELL PowerEdge R815 (Setup-1's physical testbed):
+#: 1.9 / 2.1 GHz operating points used in the paper's experiments.
+OPTERON_6174_POWER = DvfsPowerModel(
+    p_static_w=160.0,
+    p_idle_dyn_w=90.0,
+    p_core_dyn_w=150.0,
+    voltage_by_freq_ghz={1.9: 1.0875, 2.1: 1.1625},
+)

@@ -1,0 +1,233 @@
+"""Server capacity model and mutable placement state.
+
+The paper assumes a homogeneous fleet where each server has ``Ncore``
+cores and a discrete frequency ladder.  Capacity is expressed in
+cores-at-fmax: running at frequency ``f`` a server can serve
+``Ncore * f / fmax`` of demand, which is the capacity check behind both
+the allocator's ``Rem_i`` bookkeeping and the violation metric of
+Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.infrastructure.dvfs import FrequencyLadder
+from repro.infrastructure.power import (
+    DvfsPowerModel,
+    OPTERON_6174_POWER,
+    XEON_E5410_POWER,
+)
+
+__all__ = ["ServerSpec", "Server", "XEON_E5410", "OPTERON_6174"]
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Immutable description of a server model.
+
+    Parameters
+    ----------
+    name:
+        Human-readable model name.
+    n_cores:
+        Number of physical cores (the paper's ``Ncore``).
+    freq_levels_ghz:
+        Supported frequency levels; must match the power model's operating
+        points.
+    power_model:
+        The :class:`DvfsPowerModel` used for energy accounting.
+    """
+
+    name: str
+    n_cores: int
+    freq_levels_ghz: tuple[float, ...]
+    power_model: DvfsPowerModel
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ValueError("a server needs at least one core")
+        levels = tuple(sorted(self.freq_levels_ghz))
+        if not levels:
+            raise ValueError("need at least one frequency level")
+        object.__setattr__(self, "freq_levels_ghz", levels)
+        missing = [f for f in levels if f not in self.power_model.frequencies_ghz]
+        if missing:
+            raise ValueError(
+                f"frequency levels {missing} are not operating points of the power model"
+            )
+
+    @property
+    def fmax_ghz(self) -> float:
+        """Maximum frequency level."""
+        return self.freq_levels_ghz[-1]
+
+    @property
+    def fmin_ghz(self) -> float:
+        """Minimum frequency level."""
+        return self.freq_levels_ghz[0]
+
+    @property
+    def ladder(self) -> FrequencyLadder:
+        """The server's frequency ladder."""
+        return FrequencyLadder(self.freq_levels_ghz)
+
+    def capacity_at(self, freq_ghz: float) -> float:
+        """Serveable demand (cores-at-fmax) when running at ``freq_ghz``."""
+        if freq_ghz not in self.freq_levels_ghz:
+            raise ValueError(
+                f"{freq_ghz} GHz is not a level of {self.name} (valid: {self.freq_levels_ghz})"
+            )
+        return self.n_cores * freq_ghz / self.fmax_ghz
+
+    @property
+    def max_capacity(self) -> float:
+        """Capacity at ``fmax`` — the allocator's per-bin budget ``Cap_i``."""
+        return float(self.n_cores)
+
+    def busy_fraction(self, demand_cores: float, freq_ghz: float) -> float:
+        """Busy fraction at ``freq_ghz`` for a demand in cores-at-fmax.
+
+        Saturates at 1.0: demand beyond capacity queues up (a QoS
+        violation) rather than consuming nonexistent cycles.
+        """
+        if demand_cores < 0:
+            raise ValueError("demand must be non-negative")
+        capacity = self.capacity_at(freq_ghz)
+        if capacity == 0:
+            return 1.0
+        return min(demand_cores / capacity, 1.0)
+
+    def power_w(self, demand_cores: float, freq_ghz: float, active: bool = True) -> float:
+        """Server power for a demand in cores-at-fmax at ``freq_ghz``."""
+        busy = self.busy_fraction(demand_cores, freq_ghz)
+        return self.power_model.power_w(busy, freq_ghz, active=active)
+
+
+class Server:
+    """Mutable placement state of one physical server.
+
+    Tracks the VMs currently assigned, the committed reference utilization
+    (the allocator's ``Cap_i - Rem_i``), and the current frequency level.
+    """
+
+    __slots__ = ("_spec", "_server_id", "_vm_ids", "_committed", "_freq_ghz")
+
+    def __init__(self, spec: ServerSpec, server_id: str) -> None:
+        if not server_id:
+            raise ValueError("server_id must be non-empty")
+        self._spec = spec
+        self._server_id = server_id
+        self._vm_ids: list[str] = []
+        self._committed = 0.0
+        self._freq_ghz = spec.fmax_ghz
+
+    @property
+    def spec(self) -> ServerSpec:
+        """The immutable hardware description."""
+        return self._spec
+
+    @property
+    def server_id(self) -> str:
+        """Unique fleet-wide identifier."""
+        return self._server_id
+
+    @property
+    def vm_ids(self) -> tuple[str, ...]:
+        """IDs of the VMs currently placed here, in placement order."""
+        return tuple(self._vm_ids)
+
+    @property
+    def num_vms(self) -> int:
+        """Number of VMs currently placed here."""
+        return len(self._vm_ids)
+
+    @property
+    def is_active(self) -> bool:
+        """True when at least one VM is placed here."""
+        return bool(self._vm_ids)
+
+    @property
+    def committed(self) -> float:
+        """Sum of reference utilizations committed to this server."""
+        return self._committed
+
+    @property
+    def remaining(self) -> float:
+        """Free capacity ``Rem_i`` in cores-at-fmax."""
+        return self._spec.max_capacity - self._committed
+
+    @property
+    def freq_ghz(self) -> float:
+        """Current frequency level."""
+        return self._freq_ghz
+
+    def set_frequency(self, freq_ghz: float) -> None:
+        """Switch to a supported frequency level."""
+        if freq_ghz not in self._spec.freq_levels_ghz:
+            raise ValueError(
+                f"{freq_ghz} GHz is not a level of {self._spec.name} "
+                f"(valid: {self._spec.freq_levels_ghz})"
+            )
+        self._freq_ghz = freq_ghz
+
+    def can_fit(self, reference_utilization: float) -> bool:
+        """Whether a VM with the given reference demand fits in ``Rem_i``."""
+        if reference_utilization < 0:
+            raise ValueError("reference utilization must be non-negative")
+        return reference_utilization <= self.remaining + 1e-12
+
+    def place(self, vm_id: str, reference_utilization: float) -> None:
+        """Place a VM, committing its reference demand.
+
+        Raises :class:`ValueError` when the VM does not fit or is already
+        placed — both indicate allocator bugs and must fail loudly.
+        """
+        if vm_id in self._vm_ids:
+            raise ValueError(f"{vm_id} is already placed on {self._server_id}")
+        if not self.can_fit(reference_utilization):
+            raise ValueError(
+                f"{vm_id} (demand {reference_utilization:.3f}) does not fit on "
+                f"{self._server_id} (remaining {self.remaining:.3f})"
+            )
+        self._vm_ids.append(vm_id)
+        self._committed += reference_utilization
+
+    def evict(self, vm_id: str, reference_utilization: float) -> None:
+        """Remove a VM, releasing its committed demand."""
+        try:
+            self._vm_ids.remove(vm_id)
+        except ValueError:
+            raise ValueError(f"{vm_id} is not placed on {self._server_id}") from None
+        self._committed = max(0.0, self._committed - reference_utilization)
+
+    def clear(self) -> None:
+        """Empty the server (start of a new placement period)."""
+        self._vm_ids.clear()
+        self._committed = 0.0
+        self._freq_ghz = self._spec.fmax_ghz
+
+    def __repr__(self) -> str:
+        return (
+            f"Server(id={self._server_id!r}, vms={len(self._vm_ids)}, "
+            f"committed={self._committed:.3f}/{self._spec.max_capacity:.0f}, "
+            f"freq={self._freq_ghz}GHz)"
+        )
+
+
+#: Setup-2 fleet member: Intel Xeon E5410, 8 cores, 2.0 / 2.3 GHz.
+XEON_E5410 = ServerSpec(
+    name="Intel Xeon E5410",
+    n_cores=8,
+    freq_levels_ghz=(2.0, 2.3),
+    power_model=XEON_E5410_POWER,
+)
+
+#: Setup-1 testbed: DELL PowerEdge R815 with AMD Opteron 6174, used with
+#: 8 cores and 1.9 / 2.1 GHz in the paper's web-search experiments.
+OPTERON_6174 = ServerSpec(
+    name="AMD Opteron 6174 (PowerEdge R815)",
+    n_cores=8,
+    freq_levels_ghz=(1.9, 2.1),
+    power_model=OPTERON_6174_POWER,
+)

@@ -1,0 +1,63 @@
+"""Virtual machine model.
+
+A VM is an identity plus a CPU-demand trace (in cores-at-fmax units) and
+an optional service-cluster tag.  The cluster tag records ground truth for
+scale-out deployments — e.g. the paper's ``VM1,1``/``VM1,2`` belong to web
+search ``Cluster1`` — and is used by experiments and tests; the allocator
+itself never reads it (correlation must be discovered from utilization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.traces.trace import ReferenceSpec, UtilizationTrace
+
+__all__ = ["VirtualMachine"]
+
+
+@dataclass(frozen=True)
+class VirtualMachine:
+    """A virtual machine bound to its demand trace.
+
+    Parameters
+    ----------
+    vm_id:
+        Unique identifier (e.g. ``"vm07"`` or ``"VM1,2"``).
+    trace:
+        CPU demand over time in cores-at-fmax.
+    cluster_id:
+        Optional service-cluster tag (``None`` for standalone VMs).
+    core_cap:
+        Maximum number of cores the VM may use; demand traces are expected
+        to respect it (validated on construction).
+    """
+
+    vm_id: str
+    trace: UtilizationTrace
+    cluster_id: str | None = None
+    core_cap: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.vm_id:
+            raise ValueError("vm_id must be non-empty")
+        if self.core_cap is not None:
+            if self.core_cap <= 0:
+                raise ValueError("core_cap must be positive")
+            peak = self.trace.peak()
+            if peak > self.core_cap * (1 + 1e-9):
+                raise ValueError(
+                    f"trace peak {peak:.3f} exceeds core cap {self.core_cap} for {self.vm_id}"
+                )
+
+    def reference(self, spec: ReferenceSpec | None = None) -> float:
+        """Reference utilization of the whole trace (peak by default)."""
+        return self.trace.reference(spec or ReferenceSpec())
+
+    def demand_at(self, sample_index: int) -> float:
+        """Demand at one sample index (cores-at-fmax)."""
+        return float(self.trace.samples[sample_index])
+
+    def with_trace(self, trace: UtilizationTrace) -> "VirtualMachine":
+        """Copy of this VM bound to a different trace (e.g. a sub-window)."""
+        return VirtualMachine(self.vm_id, trace, self.cluster_id, self.core_cap)

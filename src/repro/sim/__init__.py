@@ -1,0 +1,37 @@
+"""Trace-replay consolidation simulator (the paper's Setup-2 harness).
+
+Drives a :class:`~repro.traces.trace.TraceSet` of fine-grained demand
+traces through periodic placement + v/f scaling on a simulated homogeneous
+fleet, accounting power, QoS violations, frequency residency and
+migrations — the quantities behind Table II and Fig 6.
+"""
+
+from repro.sim.approaches import (
+    ApproachDecision,
+    BfdApproach,
+    ConsolidationApproach,
+    FfdApproach,
+    PcpApproach,
+    ProposedApproach,
+)
+from repro.sim.deployment import DeploymentDelta, apply_decision
+from repro.sim.engine import ReplayConfig, replay
+from repro.sim.migration import MigrationCostModel
+from repro.sim.results import ReplayResult, comparison_rows, normalized_power
+
+__all__ = [
+    "ApproachDecision",
+    "ConsolidationApproach",
+    "ProposedApproach",
+    "BfdApproach",
+    "FfdApproach",
+    "PcpApproach",
+    "ReplayConfig",
+    "replay",
+    "ReplayResult",
+    "comparison_rows",
+    "normalized_power",
+    "MigrationCostModel",
+    "DeploymentDelta",
+    "apply_decision",
+]

@@ -1,0 +1,326 @@
+"""The three compared consolidation approaches behind a common interface.
+
+Each approach consumes one observed monitoring window per placement
+period and produces a placement plus per-server static frequency
+settings.  They differ exactly where the paper says they differ:
+
+* :class:`ProposedApproach` — correlation-aware allocation (Fig 2) and
+  the Eqn-4 correlation-discounted frequency.
+* :class:`BfdApproach` — best-fit decreasing on predicted peaks and
+  peak-sum frequency (no correlation awareness anywhere).
+* :class:`PcpApproach` — Verma et al.'s envelope clustering with off-peak
+  provisioning and a shared peak buffer; frequency provisioned for the
+  off-peak sum plus the buffer.
+* :class:`FfdApproach` — first-fit decreasing; not in the paper's tables,
+  used by the ablation benches to isolate the packing-order contribution.
+
+All approaches share the same prediction machinery (last-value by
+default, per the paper), so differences in the results are attributable
+to placement and v/f policy alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol
+
+from repro.baselines.bfd import best_fit_decreasing
+from repro.baselines.ffd import first_fit_decreasing
+from repro.baselines.pcp import PcpConfig, peak_clustering_placement
+from repro.core.allocation import AllocationConfig, CorrelationAwareAllocator
+from repro.core.correlation import CostMatrix
+from repro.core.placement import Placement
+from repro.core.vf_control import correlation_aware_frequency, peak_sum_frequency
+from repro.infrastructure.dvfs import FrequencyLadder, StaticVfSetting
+from repro.prediction.predictors import LastValuePredictor, Predictor
+from repro.traces.trace import ReferenceSpec, TraceSet
+
+__all__ = [
+    "ApproachDecision",
+    "ConsolidationApproach",
+    "ProposedApproach",
+    "BfdApproach",
+    "FfdApproach",
+    "PcpApproach",
+]
+
+
+@dataclass(frozen=True)
+class ApproachDecision:
+    """One period's placement and static frequency plan."""
+
+    placement: Placement
+    frequencies: Mapping[int, StaticVfSetting]
+    predicted_references: Mapping[str, float]
+    info: Mapping[str, object] = field(default_factory=dict)
+
+
+class ConsolidationApproach(Protocol):
+    """A consolidation scheme the replay engine can drive."""
+
+    name: str
+
+    def decide(self, window: TraceSet) -> ApproachDecision:
+        """Observe the finished period's window, plan the next period."""
+        ...
+
+    def reset(self) -> None:
+        """Drop all cross-period state (fresh replay)."""
+        ...
+
+
+class _ReferenceHistory:
+    """Shared per-VM reference history + prediction helper.
+
+    Supports *oracle priming*: the replay engine may inject the true
+    upcoming references (see ``ReplayConfig.oracle``), which then replace
+    the predictor's output for exactly one decision.  This separates
+    placement quality from predictor error in the ablation experiments.
+    """
+
+    def __init__(self, spec: ReferenceSpec, predictor: Predictor, default: float) -> None:
+        self._spec = spec
+        self._predictor = predictor
+        self._default = default
+        self._history: dict[str, list[float]] = {}
+        self._primed: dict[str, float] | None = None
+
+    def prime(self, true_references: dict[str, float]) -> None:
+        """Inject the true upcoming references (consumed by next predict)."""
+        self._primed = dict(true_references)
+
+    def observe_and_predict(self, window: TraceSet) -> dict[str, float]:
+        observed = window.references(self._spec)
+        primed = self._primed
+        self._primed = None
+        predictions: dict[str, float] = {}
+        for vm, value in observed.items():
+            history = self._history.setdefault(vm, [])
+            history.append(value)
+            if primed is not None and vm in primed:
+                predictions[vm] = primed[vm]
+            else:
+                predictions[vm] = self._predictor.predict(history)
+        return predictions
+
+    def reset(self) -> None:
+        self._history.clear()
+        self._primed = None
+
+
+class ProposedApproach:
+    """The paper's scheme: Fig-2 allocation + Eqn-4 frequency.
+
+    The pairwise cost matrix is estimated over a rolling *horizon* of the
+    last ``horizon_periods`` monitoring windows, not just the most recent
+    one.  Section IV-A's streaming formulation measures correlation
+    "across a certain time horizon"; a multi-period horizon matters in
+    practice because a single window can transiently de-correlate a pair
+    that usually peaks together — trusting that optimistic snapshot both
+    co-locates the pair and over-discounts the frequency, exactly when it
+    is about to surge jointly.  Peaks over a longer horizon are
+    conservative by construction (they can only grow), so the discount
+    only engages for pairs whose de-correlation is *stable*.
+    """
+
+    def __init__(
+        self,
+        n_cores: int,
+        freq_levels_ghz: tuple[float, ...],
+        max_servers: int | None = None,
+        reference: ReferenceSpec | None = None,
+        allocation: AllocationConfig | None = None,
+        predictor: Predictor | None = None,
+        default_reference: float = 1.0,
+        horizon_periods: int = 3,
+    ) -> None:
+        if horizon_periods < 1:
+            raise ValueError("horizon_periods must be at least 1")
+        self.name = "Proposed"
+        self._n_cores = n_cores
+        self._ladder = FrequencyLadder(freq_levels_ghz)
+        self._max_servers = max_servers
+        self._reference = reference or ReferenceSpec()
+        self._allocator = CorrelationAwareAllocator(allocation)
+        self._refs = _ReferenceHistory(
+            self._reference, predictor or LastValuePredictor(default_reference), default_reference
+        )
+        self._horizon_periods = horizon_periods
+        self._window_history: list[TraceSet] = []
+
+    def _horizon(self, window: TraceSet) -> TraceSet:
+        """The last ``horizon_periods`` windows, concatenated."""
+        self._window_history.append(window)
+        if len(self._window_history) > self._horizon_periods:
+            self._window_history = self._window_history[-self._horizon_periods :]
+        if len(self._window_history) == 1:
+            return window
+        import numpy as np
+
+        from repro.traces.trace import UtilizationTrace
+
+        joined = np.concatenate([w.matrix for w in self._window_history], axis=1)
+        return TraceSet(
+            UtilizationTrace(joined[i], window.period_s, name)
+            for i, name in enumerate(window.names)
+        )
+
+    def prime_oracle(self, true_references: dict[str, float]) -> None:
+        """Inject the true upcoming references (oracle ablation mode)."""
+        self._refs.prime(true_references)
+
+    def decide(self, window: TraceSet) -> ApproachDecision:
+        predicted = self._refs.observe_and_predict(window)
+        horizon = self._horizon(window)
+        matrix = CostMatrix.from_traces(horizon, self._reference)
+        placement = self._allocator.allocate(
+            list(window.names), predicted, matrix.cost, self._n_cores, self._max_servers
+        )
+        frequencies = {
+            server: correlation_aware_frequency(
+                list(members), predicted, matrix.cost, self._ladder, self._n_cores
+            )
+            for server, members in placement.by_server().items()
+        }
+        mean_cost = matrix.mean_offdiagonal()
+        return ApproachDecision(placement, frequencies, predicted, {"mean_cost": mean_cost})
+
+    def reset(self) -> None:
+        self._refs.reset()
+        self._window_history.clear()
+
+
+class _PackingApproach:
+    """Common body of the correlation-unaware packing baselines."""
+
+    def __init__(
+        self,
+        name: str,
+        packer,
+        n_cores: int,
+        freq_levels_ghz: tuple[float, ...],
+        max_servers: int | None = None,
+        reference: ReferenceSpec | None = None,
+        predictor: Predictor | None = None,
+        default_reference: float = 1.0,
+    ) -> None:
+        self.name = name
+        self._packer = packer
+        self._n_cores = n_cores
+        self._ladder = FrequencyLadder(freq_levels_ghz)
+        self._max_servers = max_servers
+        self._reference = reference or ReferenceSpec()
+        self._refs = _ReferenceHistory(
+            self._reference, predictor or LastValuePredictor(default_reference), default_reference
+        )
+
+    def prime_oracle(self, true_references: dict[str, float]) -> None:
+        """Inject the true upcoming references (oracle ablation mode)."""
+        self._refs.prime(true_references)
+
+    def decide(self, window: TraceSet) -> ApproachDecision:
+        predicted = self._refs.observe_and_predict(window)
+        placement = self._packer(
+            list(window.names), predicted, self._n_cores, self._max_servers
+        )
+        frequencies = {
+            server: peak_sum_frequency(list(members), predicted, self._ladder, self._n_cores)
+            for server, members in placement.by_server().items()
+        }
+        return ApproachDecision(placement, frequencies, predicted)
+
+    def reset(self) -> None:
+        self._refs.reset()
+
+
+class BfdApproach(_PackingApproach):
+    """Best-fit decreasing + peak-sum static frequency (Table II's BFD)."""
+
+    def __init__(self, n_cores: int, freq_levels_ghz: tuple[float, ...], **kwargs) -> None:
+        super().__init__("BFD", best_fit_decreasing, n_cores, freq_levels_ghz, **kwargs)
+
+
+class FfdApproach(_PackingApproach):
+    """First-fit decreasing + peak-sum static frequency (ablation only)."""
+
+    def __init__(self, n_cores: int, freq_levels_ghz: tuple[float, ...], **kwargs) -> None:
+        super().__init__("FFD", first_fit_decreasing, n_cores, freq_levels_ghz, **kwargs)
+
+
+class PcpApproach:
+    """Peak Clustering-based Placement (Table II's PCP [6]).
+
+    Predicts *two* references per VM — the off-peak provisioning size and
+    the peak (buffer sizing) — with the same predictor family as the other
+    approaches, clusters on the observed window's envelopes, and
+    provisions frequency for the off-peak sum plus the shared buffer.
+    """
+
+    def __init__(
+        self,
+        n_cores: int,
+        freq_levels_ghz: tuple[float, ...],
+        max_servers: int | None = None,
+        pcp: PcpConfig | None = None,
+        predictor: Predictor | None = None,
+        peak_predictor: Predictor | None = None,
+        default_reference: float = 1.0,
+    ) -> None:
+        self.name = "PCP"
+        self._n_cores = n_cores
+        self._ladder = FrequencyLadder(freq_levels_ghz)
+        self._max_servers = max_servers
+        self._pcp = pcp or PcpConfig()
+        offpeak_spec = ReferenceSpec(self._pcp.offpeak_percentile)
+        peak_spec = ReferenceSpec(100.0)
+        self._offpeak_refs = _ReferenceHistory(
+            offpeak_spec, predictor or LastValuePredictor(default_reference), default_reference
+        )
+        self._peak_refs = _ReferenceHistory(
+            peak_spec, peak_predictor or LastValuePredictor(default_reference), default_reference
+        )
+
+    def prime_oracle(self, true_references: dict[str, float]) -> None:
+        """Inject true upcoming *peak* references (oracle ablation mode).
+
+        The off-peak provisioning size keeps using the predictor: PCP's
+        buffer sizing is what the oracle study isolates.
+        """
+        self._peak_refs.prime(true_references)
+
+    def decide(self, window: TraceSet) -> ApproachDecision:
+        offpeak = self._offpeak_refs.observe_and_predict(window)
+        peak = self._peak_refs.observe_and_predict(window)
+        result = peak_clustering_placement(
+            window, offpeak, peak, self._n_cores, self._pcp, self._max_servers
+        )
+        placement = result.placement
+        cluster_of = {
+            vm: index for index, cluster in enumerate(result.clusters) for vm in cluster
+        }
+        frequencies: dict[int, StaticVfSetting] = {}
+        for server, members in placement.by_server().items():
+            # PCP provisions capacity for off-peak sum + shared buffer
+            # (same-cluster excursions add up, the worst cluster sizes the
+            # buffer), so its static frequency targets exactly that.
+            committed = sum(offpeak[vm] for vm in members)
+            per_cluster: dict[int, float] = {}
+            for vm in members:
+                excursion = max(peak[vm] - offpeak[vm], 0.0)
+                key = cluster_of[vm]
+                per_cluster[key] = per_cluster.get(key, 0.0) + excursion
+            buffer = max(per_cluster.values(), default=0.0)
+            target = (committed + buffer) / self._n_cores * self._ladder.fmax_ghz
+            frequencies[server] = StaticVfSetting(
+                freq_ghz=self._ladder.quantize_up(target), target_ghz=target
+            )
+        return ApproachDecision(
+            placement,
+            frequencies,
+            peak,
+            {"num_clusters": result.num_clusters, "clusters": result.clusters},
+        )
+
+    def reset(self) -> None:
+        self._offpeak_refs.reset()
+        self._peak_refs.reset()

@@ -1,0 +1,83 @@
+"""Actuation: apply a manager decision to a physical fleet model.
+
+:class:`~repro.core.manager.PowerManager` produces *plans*
+(:class:`~repro.core.manager.PeriodDecision`); this module applies them
+to the mutable :class:`~repro.infrastructure.datacenter.Datacenter`
+state — placing VMs, setting frequencies, and reporting what changed —
+the way a deployment would drive hypervisor and DVFS actuators.  The
+replay engine bypasses this layer for speed; the online examples and
+integration tests use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.manager import PeriodDecision
+from repro.core.placement import Placement
+from repro.infrastructure.datacenter import Datacenter
+
+__all__ = ["DeploymentDelta", "apply_decision"]
+
+
+@dataclass(frozen=True)
+class DeploymentDelta:
+    """What changed when a decision was applied to the fleet."""
+
+    migrations: int
+    powered_on: tuple[str, ...]
+    powered_off: tuple[str, ...]
+    frequency_changes: tuple[tuple[str, float, float], ...]
+
+    @property
+    def is_noop(self) -> bool:
+        """True when nothing moved or rescaled."""
+        return (
+            self.migrations == 0
+            and not self.powered_on
+            and not self.powered_off
+            and not self.frequency_changes
+        )
+
+
+def apply_decision(
+    datacenter: Datacenter,
+    decision: PeriodDecision,
+    previous_placement: Placement | None = None,
+) -> DeploymentDelta:
+    """Apply ``decision`` to ``datacenter`` and report the delta.
+
+    The decision's placement must fit the fleet; the frequencies are
+    applied to every active server (inactive servers are reset to fmax
+    by :meth:`Datacenter.clear`, mirroring a power-cycled machine).
+    """
+    placement = decision.placement
+    if placement.num_servers > datacenter.num_servers:
+        raise ValueError(
+            f"decision targets {placement.num_servers} servers, "
+            f"fleet has {datacenter.num_servers}"
+        )
+
+    before_active = {s.server_id for s in datacenter if s.is_active}
+    before_freq = {s.server_id: s.freq_ghz for s in datacenter}
+
+    assignment = {vm: server for vm, server in placement.assignment.items()}
+    references = dict(decision.predicted_references)
+    datacenter.apply_placement(assignment, references)
+    for server_index, setting in decision.frequencies.items():
+        datacenter[server_index].set_frequency(setting.freq_ghz)
+
+    after_active = {s.server_id for s in datacenter if s.is_active}
+    frequency_changes = []
+    for server in datacenter:
+        if server.is_active and before_freq[server.server_id] != server.freq_ghz:
+            frequency_changes.append(
+                (server.server_id, before_freq[server.server_id], server.freq_ghz)
+            )
+
+    return DeploymentDelta(
+        migrations=placement.migrations_from(previous_placement),
+        powered_on=tuple(sorted(after_active - before_active)),
+        powered_off=tuple(sorted(before_active - after_active)),
+        frequency_changes=tuple(frequency_changes),
+    )

@@ -1,0 +1,196 @@
+"""The trace-replay loop: periodic placement, v/f scaling, accounting.
+
+Mirrors the paper's Setup-2 methodology: placement every ``t_period``
+(1 hour) from predictions over the previous period, then replay of the
+period's actual fine-grained samples against the chosen placement and
+frequency plan.  Two v/f modes:
+
+* **static** (Table II(a)) — each server keeps its placement-time
+  frequency for the whole period;
+* **dynamic** (Table II(b)) — every ``dvfs_interval_samples`` samples
+  (12 × 5 s = 1 minute in the paper, chosen to avoid reliability-hurting
+  oscillation) the frequency is re-chosen reactively from the previous
+  interval's demand, for *every* approach.
+
+The first period is pure warm-up (there is no history to predict from);
+metrics cover periods ``1 .. P-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.infrastructure.dvfs import UtilizationTrackingPolicy
+from repro.infrastructure.server import ServerSpec
+from repro.sim.approaches import ConsolidationApproach
+from repro.sim.metrics import FrequencyResidency, period_violation_ratio
+from repro.sim.results import ReplayResult
+from repro.traces.trace import TraceSet
+
+__all__ = ["ReplayConfig", "replay"]
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Replay parameters (defaults reproduce the paper's Setup-2).
+
+    ``oracle`` enables perfect reference prediction: before each
+    placement, approaches exposing ``prime_oracle`` receive the *actual*
+    upcoming per-VM reference utilizations.  No real system has this; it
+    exists to separate placement quality from predictor error in the
+    ablation experiments.
+    """
+
+    tperiod_s: float = 3600.0
+    dvfs_mode: str = "static"
+    dvfs_interval_samples: int = 12
+    dvfs_headroom: float = 1.0
+    oracle: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tperiod_s <= 0:
+            raise ValueError("tperiod_s must be positive")
+        if self.dvfs_mode not in ("static", "dynamic"):
+            raise ValueError(f"dvfs_mode must be 'static' or 'dynamic', got {self.dvfs_mode!r}")
+        if self.dvfs_interval_samples < 1:
+            raise ValueError("dvfs_interval_samples must be positive")
+        if self.dvfs_headroom < 1.0:
+            raise ValueError("dvfs_headroom below 1.0 deliberately under-provisions")
+
+
+def _period_frequencies(
+    demand: np.ndarray,
+    static_freq_ghz: float,
+    spec: ServerSpec,
+    config: ReplayConfig,
+    policy: UtilizationTrackingPolicy,
+) -> np.ndarray:
+    """Per-sample frequency series for one server over one period."""
+    samples = demand.size
+    freqs = np.full(samples, static_freq_ghz, dtype=float)
+    if config.dvfs_mode == "static":
+        return freqs
+    ladder = spec.ladder
+    interval = config.dvfs_interval_samples
+    for start in range(interval, samples, interval):
+        window = demand[start - interval : start]
+        chosen = policy.choose(window, ladder, spec.n_cores)
+        freqs[start : start + interval] = chosen
+    return freqs
+
+
+def replay(
+    fine_traces: TraceSet,
+    spec: ServerSpec,
+    num_servers: int,
+    approach: ConsolidationApproach,
+    config: ReplayConfig | None = None,
+) -> ReplayResult:
+    """Replay ``fine_traces`` under ``approach`` on a simulated fleet.
+
+    Parameters
+    ----------
+    fine_traces:
+        Fine-grained demand traces (e.g. 5-second samples) covering at
+        least two placement periods.
+    spec:
+        The homogeneous server model (capacity, ladder, power).
+    num_servers:
+        Fleet size; the approach may not exceed it.
+    approach:
+        A :class:`~repro.sim.approaches.ConsolidationApproach`.
+    config:
+        Replay parameters; defaults are the paper's.
+    """
+    config = config or ReplayConfig()
+    samples_per_period = int(round(config.tperiod_s / fine_traces.period_s))
+    if samples_per_period < 1:
+        raise ValueError("tperiod shorter than one sample")
+    total_periods = fine_traces.num_samples // samples_per_period
+    if total_periods < 2:
+        raise ValueError(
+            f"need at least 2 periods of {samples_per_period} samples, "
+            f"trace has {fine_traces.num_samples}"
+        )
+
+    approach.reset()
+    policy = UtilizationTrackingPolicy(config.dvfs_interval_samples, config.dvfs_headroom)
+    ladder = spec.ladder
+
+    measured_periods = total_periods - 1
+    violation = np.zeros((measured_periods, num_servers), dtype=float)
+    residency = FrequencyResidency(num_servers, ladder.levels_ghz)
+    energy_j = 0.0
+    migrations = 0
+    active_counts: list[int] = []
+    placements: list = []
+    infos: list = []
+    previous_placement = None
+
+    name_to_row = {name: i for i, name in enumerate(fine_traces.names)}
+    matrix = fine_traces.matrix
+
+    for period in range(1, total_periods):
+        window = fine_traces.slice((period - 1) * samples_per_period, period * samples_per_period)
+        if config.oracle and hasattr(approach, "prime_oracle"):
+            upcoming = fine_traces.slice(
+                period * samples_per_period, (period + 1) * samples_per_period
+            )
+            approach.prime_oracle(upcoming.references())
+        decision = approach.decide(window)
+        placement = decision.placement
+        if placement.num_servers > num_servers:
+            raise ValueError(
+                f"{approach.name} used {placement.num_servers} servers, fleet has {num_servers}"
+            )
+        placements.append(placement)
+        infos.append(dict(decision.info))
+        migrations += placement.migrations_from(previous_placement)
+        previous_placement = placement
+        active_counts.append(placement.num_active_servers)
+
+        start = period * samples_per_period
+        stop = start + samples_per_period
+        by_server = placement.by_server()
+        for server_index in range(num_servers):
+            members = by_server.get(server_index, ())
+            if not members:
+                residency.record(server_index, ladder.fmax_ghz, samples_per_period, active=False)
+                continue
+            rows = [name_to_row[vm] for vm in members]
+            demand = matrix[rows, start:stop].sum(axis=0)
+            setting = decision.frequencies.get(server_index)
+            static_freq = setting.freq_ghz if setting is not None else ladder.fmax_ghz
+            freqs = _period_frequencies(demand, static_freq, spec, config, policy)
+
+            capacity = spec.n_cores * freqs / spec.fmax_ghz
+            violation[period - 1, server_index] = period_violation_ratio(demand, capacity)
+
+            for level in ladder.levels_ghz:
+                mask = freqs == level
+                count = int(mask.sum())
+                if count == 0:
+                    continue
+                residency.record(server_index, level, count, active=True)
+                busy = np.minimum(demand[mask] / (spec.n_cores * level / spec.fmax_ghz), 1.0)
+                idle_w = spec.power_model.idle_power_w(level)
+                busy_w = spec.power_model.busy_power_w(level)
+                power = idle_w + (busy_w - idle_w) * busy
+                energy_j += float(power.sum()) * fine_traces.period_s
+
+    duration_s = measured_periods * samples_per_period * fine_traces.period_s
+    return ReplayResult(
+        approach_name=approach.name,
+        period_s=config.tperiod_s,
+        samples_per_period=samples_per_period,
+        violation_ratio=violation,
+        energy_j=energy_j,
+        avg_power_w=energy_j / duration_s,
+        residency=residency,
+        placements=tuple(placements),
+        migrations=migrations,
+        mean_active_servers=float(np.mean(active_counts)),
+        info_per_period=tuple(infos),
+    )

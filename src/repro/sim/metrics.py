@@ -1,0 +1,128 @@
+"""Violation, power and frequency-residency accounting.
+
+The Table-II metrics, as the paper defines them:
+
+* **Maximum violation (%)** — "the maximum per-period ratio of the number
+  of over-utilized time instances (i.e., when the aggregated utilization
+  among co-located VMs is beyond the CPU capacity of a corresponding
+  server) to ``t_period``, during the entire periods".  Capacity at
+  frequency ``f`` is ``Ncore * f / fmax`` in cores-at-fmax units.
+* **Normalized power** — average fleet power normalized to BFD's.
+* **Frequency residency** (Fig 6) — how many active samples each server
+  spent at each frequency level.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "violating_samples",
+    "period_violation_ratio",
+    "max_violation_pct",
+    "mean_violation_pct",
+    "FrequencyResidency",
+]
+
+#: Relative tolerance on the capacity check: a demand equal to capacity is
+#: not a violation (the server is exactly full, not over-utilized).
+_CAPACITY_RTOL = 1e-9
+
+
+def violating_samples(
+    demand_cores: np.ndarray, capacity_cores: np.ndarray | float
+) -> np.ndarray:
+    """Boolean mask of samples where demand exceeds capacity."""
+    demand = np.asarray(demand_cores, dtype=float)
+    capacity = np.asarray(capacity_cores, dtype=float)
+    return demand > capacity * (1.0 + _CAPACITY_RTOL)
+
+
+def period_violation_ratio(
+    demand_cores: np.ndarray, capacity_cores: np.ndarray | float
+) -> float:
+    """Fraction of a period's samples that are over-utilized."""
+    mask = violating_samples(demand_cores, capacity_cores)
+    if mask.size == 0:
+        return 0.0
+    return float(mask.mean())
+
+
+def max_violation_pct(violation_ratios: np.ndarray) -> float:
+    """Paper metric: max per-period per-server violation ratio, in percent.
+
+    ``violation_ratios`` is the ``(num_periods, num_servers)`` matrix the
+    replay engine produces; empty (all-inactive) entries are zeros and do
+    not disturb the maximum.
+    """
+    ratios = np.asarray(violation_ratios, dtype=float)
+    if ratios.size == 0:
+        return 0.0
+    return float(ratios.max() * 100.0)
+
+
+def mean_violation_pct(violation_ratios: np.ndarray) -> float:
+    """Mean violation ratio over all (period, server) cells, in percent."""
+    ratios = np.asarray(violation_ratios, dtype=float)
+    if ratios.size == 0:
+        return 0.0
+    return float(ratios.mean() * 100.0)
+
+
+class FrequencyResidency:
+    """Per-server counts of active samples at each frequency level."""
+
+    def __init__(self, num_servers: int, levels_ghz: Sequence[float]) -> None:
+        if num_servers < 1:
+            raise ValueError("need at least one server")
+        self._levels = tuple(sorted(levels_ghz))
+        self._counts: list[Counter[float]] = [Counter() for _ in range(num_servers)]
+        self._inactive = [0] * num_servers
+
+    @property
+    def levels_ghz(self) -> tuple[float, ...]:
+        """The tracked frequency levels, ascending."""
+        return self._levels
+
+    @property
+    def num_servers(self) -> int:
+        """Number of tracked servers."""
+        return len(self._counts)
+
+    def record(self, server_index: int, freq_ghz: float, samples: int, active: bool) -> None:
+        """Accumulate ``samples`` at one operating point."""
+        if samples < 0:
+            raise ValueError("sample count must be non-negative")
+        if not active:
+            self._inactive[server_index] += samples
+            return
+        if freq_ghz not in self._levels:
+            raise ValueError(f"{freq_ghz} GHz is not a tracked level ({self._levels})")
+        self._counts[server_index][freq_ghz] += samples
+
+    def counts(self, server_index: int) -> dict[float, int]:
+        """Active-sample counts per level for one server (all levels)."""
+        counter = self._counts[server_index]
+        return {level: counter.get(level, 0) for level in self._levels}
+
+    def inactive(self, server_index: int) -> int:
+        """Samples the server spent suspended (no VMs)."""
+        return self._inactive[server_index]
+
+    def fractions(self, server_index: int) -> dict[float, float]:
+        """Residency fractions over the server's *active* samples."""
+        counter = self._counts[server_index]
+        total = sum(counter.values())
+        if total == 0:
+            return {level: 0.0 for level in self._levels}
+        return {level: counter.get(level, 0) / total for level in self._levels}
+
+    def merged(self) -> dict[float, int]:
+        """Fleet-wide counts per level."""
+        merged: Counter[float] = Counter()
+        for counter in self._counts:
+            merged.update(counter)
+        return {level: merged.get(level, 0) for level in self._levels}

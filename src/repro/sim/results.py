@@ -1,0 +1,104 @@
+"""Replay result container and cross-approach comparison helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.placement import Placement
+from repro.sim.metrics import FrequencyResidency, max_violation_pct, mean_violation_pct
+
+__all__ = ["ReplayResult", "normalized_power", "comparison_rows"]
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Everything one replay of one approach produced.
+
+    Attributes
+    ----------
+    approach_name:
+        The approach's display name ("Proposed", "BFD", "PCP", ...).
+    violation_ratio:
+        ``(num_periods, num_servers)`` per-period violating-sample
+        fractions.
+    energy_j / avg_power_w:
+        Fleet energy over the simulated horizon and its time average.
+    residency:
+        Per-server frequency residency (Fig 6's raw data).
+    placements:
+        The placement chosen for each simulated period.
+    migrations:
+        Total VM moves between consecutive placements.
+    mean_active_servers:
+        Average number of powered-on servers over the horizon.
+    info_per_period:
+        Approach-specific extras (e.g. PCP's cluster count per period).
+    """
+
+    approach_name: str
+    period_s: float
+    samples_per_period: int
+    violation_ratio: np.ndarray
+    energy_j: float
+    avg_power_w: float
+    residency: FrequencyResidency
+    placements: tuple[Placement, ...]
+    migrations: int
+    mean_active_servers: float
+    info_per_period: tuple[Mapping[str, object], ...] = field(default_factory=tuple)
+
+    @property
+    def num_periods(self) -> int:
+        """Simulated placement periods."""
+        return int(self.violation_ratio.shape[0])
+
+    @property
+    def max_violation_pct(self) -> float:
+        """Table II's "maximum violations (%)" metric."""
+        return max_violation_pct(self.violation_ratio)
+
+    @property
+    def mean_violation_pct(self) -> float:
+        """Average violation percentage (secondary metric)."""
+        return mean_violation_pct(self.violation_ratio)
+
+
+def normalized_power(
+    results: Sequence[ReplayResult], baseline_name: str = "BFD"
+) -> dict[str, float]:
+    """Average power of each approach normalized to the named baseline.
+
+    Mirrors Table II's presentation ("normalized with respect to the power
+    consumed by BFD").
+    """
+    by_name = {result.approach_name: result for result in results}
+    if baseline_name not in by_name:
+        raise KeyError(f"no result named {baseline_name!r} to normalize against")
+    base = by_name[baseline_name].avg_power_w
+    if base <= 0:
+        raise ValueError("baseline consumed no power; cannot normalize")
+    return {name: result.avg_power_w / base for name, result in by_name.items()}
+
+
+def comparison_rows(
+    results: Sequence[ReplayResult], baseline_name: str = "BFD"
+) -> list[dict[str, object]]:
+    """Table-II-shaped rows: approach, normalized power, max violation."""
+    norm = normalized_power(results, baseline_name)
+    rows = []
+    for result in results:
+        rows.append(
+            {
+                "approach": result.approach_name,
+                "normalized_power": norm[result.approach_name],
+                "max_violation_pct": result.max_violation_pct,
+                "mean_violation_pct": result.mean_violation_pct,
+                "avg_power_w": result.avg_power_w,
+                "mean_active_servers": result.mean_active_servers,
+                "migrations": result.migrations,
+            }
+        )
+    return rows

@@ -1,0 +1,42 @@
+"""CPU-utilization traces: containers, synthesis and workload generation.
+
+The paper's Setup-2 evaluation replays one day of CPU-utilization traces of
+the 40 most-utilized VMs of a production datacenter, sampled every 5
+minutes and refined to 5-second samples with a lognormal generator
+(Benson et al., SIGCOMM CCR 2010).  Those traces are proprietary, so this
+subpackage provides:
+
+* :class:`~repro.traces.trace.UtilizationTrace` /
+  :class:`~repro.traces.trace.TraceSet` — numpy-backed containers with the
+  statistics the allocator needs (peak, percentiles, aggregation,
+  envelopes),
+* :mod:`~repro.traces.synthesis` — the coarse-to-fine lognormal refinement
+  described in Section V-B, and
+* :mod:`~repro.traces.datacenter` — a parameterised generator that
+  synthesizes production-like traces with the properties the paper reports
+  (clustered correlation, diurnal structure, under-utilization with sharp
+  peaks).
+"""
+
+from repro.traces.trace import ReferenceSpec, TraceSet, UtilizationTrace
+from repro.traces.synthesis import synthesize_fine_grained, refine_trace, refine_trace_set
+from repro.traces.datacenter import (
+    DatacenterTraceConfig,
+    generate_datacenter_traces,
+    select_top_utilization,
+)
+from repro.traces.io import load_trace_set_csv, save_trace_set_csv
+
+__all__ = [
+    "UtilizationTrace",
+    "TraceSet",
+    "ReferenceSpec",
+    "synthesize_fine_grained",
+    "refine_trace",
+    "refine_trace_set",
+    "DatacenterTraceConfig",
+    "generate_datacenter_traces",
+    "select_top_utilization",
+    "load_trace_set_csv",
+    "save_trace_set_csv",
+]

@@ -1,0 +1,75 @@
+"""CSV persistence for trace sets.
+
+A ``TraceSet`` round-trips through a plain CSV file: first column is the
+sample timestamp in seconds, remaining columns are one VM each.  The
+format is deliberately tool-friendly (pandas/excel/gnuplot) so users can
+substitute their own datacenter traces for the synthetic generator — the
+exact workflow the paper followed with its proprietary traces.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.trace import TraceSet
+
+__all__ = ["save_trace_set_csv", "load_trace_set_csv"]
+
+_TIME_COLUMN = "time_s"
+
+
+def save_trace_set_csv(traces: TraceSet, path: str | Path) -> None:
+    """Write ``traces`` to ``path`` as CSV with a ``time_s`` column."""
+    path = Path(path)
+    times = np.arange(traces.num_samples, dtype=float) * traces.period_s
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([_TIME_COLUMN, *traces.names])
+        matrix = traces.matrix
+        for j in range(traces.num_samples):
+            writer.writerow(
+                [f"{times[j]:.6g}", *(f"{matrix[i, j]:.6g}" for i in range(traces.num_traces))]
+            )
+
+
+def load_trace_set_csv(path: str | Path) -> TraceSet:
+    """Read a trace set previously written by :func:`save_trace_set_csv`.
+
+    The sampling period is inferred from the first two timestamps and the
+    file is validated for uniform sampling; a malformed file raises
+    :class:`ValueError` rather than producing a silently misaligned set.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        if not header or header[0] != _TIME_COLUMN:
+            raise ValueError(f"{path} does not look like a trace CSV (bad header)")
+        names = header[1:]
+        if not names:
+            raise ValueError(f"{path} contains no VM columns")
+        times: list[float] = []
+        columns: list[list[float]] = [[] for _ in names]
+        for row in reader:
+            if not row:
+                continue
+            if len(row) != len(names) + 1:
+                raise ValueError(f"{path}: row width {len(row)} != header width {len(names) + 1}")
+            times.append(float(row[0]))
+            for i, cell in enumerate(row[1:]):
+                columns[i].append(float(cell))
+    if len(times) < 2:
+        raise ValueError(f"{path} needs at least two samples to infer the period")
+    deltas = np.diff(np.asarray(times))
+    period = float(deltas[0])
+    if period <= 0 or not np.allclose(deltas, period, rtol=1e-6, atol=1e-9):
+        raise ValueError(f"{path} is not uniformly sampled")
+    return TraceSet.from_mapping(
+        {name: np.asarray(column) for name, column in zip(names, columns)}, period
+    )

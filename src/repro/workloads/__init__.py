@@ -1,0 +1,51 @@
+"""Scale-out application workloads (the paper's Setup-1 substrate).
+
+The paper's first testbed runs two CloudSuite web-search clusters (one
+Tomcat front-end plus two Nutch index-serving nodes each) on Xen, driving
+them with Faban clients whose population follows sine/cosine waves.  This
+subpackage simulates that stack:
+
+* :mod:`repro.workloads.clients` — client-population load shapes,
+* :mod:`repro.workloads.websearch` — the cluster model mapping client
+  count to per-ISN CPU demand (with the load imbalance of Fig 1/4),
+* :mod:`repro.workloads.queueing` — a fork-join processor-sharing
+  discrete-event simulator producing the response-time distributions of
+  Fig 5.
+"""
+
+from repro.workloads.clients import (
+    ClientLoad,
+    ComposedLoad,
+    CosineClients,
+    FlashCrowdClients,
+    RampClients,
+    SineClients,
+    SquareWaveClients,
+    TraceClients,
+)
+from repro.workloads.websearch import WebSearchCluster, WebSearchClusterConfig
+from repro.workloads.queueing import (
+    ForkJoinQueueingSimulator,
+    QueueingConfig,
+    QueueingResult,
+    Region,
+    SimCluster,
+)
+
+__all__ = [
+    "ClientLoad",
+    "SineClients",
+    "CosineClients",
+    "SquareWaveClients",
+    "RampClients",
+    "FlashCrowdClients",
+    "TraceClients",
+    "ComposedLoad",
+    "WebSearchCluster",
+    "WebSearchClusterConfig",
+    "ForkJoinQueueingSimulator",
+    "QueueingConfig",
+    "QueueingResult",
+    "Region",
+    "SimCluster",
+]

@@ -1,0 +1,196 @@
+"""Client-population load shapes.
+
+The paper emulates clients with Faban, varying the population "from 0 to
+300 with the form of sine and cosine waves for Cluster1 and Cluster2,
+respectively".  These shapes (plus a few extras for the examples and
+robustness tests) are modelled as deterministic functions of time; the
+stochastic parts of the workload (query arrivals, per-query demand) live
+in the queueing simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ClientLoad",
+    "SineClients",
+    "CosineClients",
+    "SquareWaveClients",
+    "RampClients",
+    "FlashCrowdClients",
+    "TraceClients",
+    "ComposedLoad",
+]
+
+
+class ClientLoad(Protocol):
+    """Number of concurrent clients as a function of time."""
+
+    def clients_at(self, t_s: float) -> float:
+        """Client population at time ``t_s`` (non-negative)."""
+        ...
+
+    def sample(self, times_s: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation over an array of times."""
+        ...
+
+
+class _BaseLoad:
+    """Default vectorized sampling on top of scalar ``clients_at``."""
+
+    def sample(self, times_s: np.ndarray) -> np.ndarray:
+        times = np.asarray(times_s, dtype=float)
+        return np.array([self.clients_at(float(t)) for t in times])
+
+
+class SineClients(_BaseLoad):
+    """``min + (max-min) * (1 + sin) / 2`` — the paper's Cluster1 shape."""
+
+    def __init__(
+        self,
+        min_clients: float = 0.0,
+        max_clients: float = 300.0,
+        period_s: float = 300.0,
+        phase_rad: float = 0.0,
+    ) -> None:
+        if min_clients < 0 or max_clients < min_clients:
+            raise ValueError("need 0 <= min_clients <= max_clients")
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self._min = min_clients
+        self._max = max_clients
+        self._period = period_s
+        self._phase = phase_rad
+
+    def clients_at(self, t_s: float) -> float:
+        wave = math.sin(2.0 * math.pi * t_s / self._period + self._phase)
+        return self._min + (self._max - self._min) * (1.0 + wave) / 2.0
+
+    def sample(self, times_s: np.ndarray) -> np.ndarray:
+        times = np.asarray(times_s, dtype=float)
+        wave = np.sin(2.0 * np.pi * times / self._period + self._phase)
+        return self._min + (self._max - self._min) * (1.0 + wave) / 2.0
+
+
+class CosineClients(SineClients):
+    """The paper's Cluster2 shape — a sine led by 90 degrees.
+
+    Using the phase relationship (rather than a separate formula) makes
+    the anti-correlation between the two clusters explicit: their peaks
+    are offset by a quarter period.
+    """
+
+    def __init__(
+        self,
+        min_clients: float = 0.0,
+        max_clients: float = 300.0,
+        period_s: float = 300.0,
+    ) -> None:
+        super().__init__(min_clients, max_clients, period_s, phase_rad=math.pi / 2.0)
+
+
+class SquareWaveClients(_BaseLoad):
+    """Alternating low/high populations (abrupt-change stress shape)."""
+
+    def __init__(self, low: float, high: float, period_s: float, duty: float = 0.5) -> None:
+        if low < 0 or high < low:
+            raise ValueError("need 0 <= low <= high")
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 < duty < 1.0:
+            raise ValueError("duty cycle must lie in (0, 1)")
+        self._low = low
+        self._high = high
+        self._period = period_s
+        self._duty = duty
+
+    def clients_at(self, t_s: float) -> float:
+        position = (t_s % self._period) / self._period
+        return self._high if position < self._duty else self._low
+
+
+class RampClients(_BaseLoad):
+    """Linear ramp between two populations over a time span."""
+
+    def __init__(self, start: float, end: float, duration_s: float) -> None:
+        if start < 0 or end < 0:
+            raise ValueError("populations must be non-negative")
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        self._start = start
+        self._end = end
+        self._duration = duration_s
+
+    def clients_at(self, t_s: float) -> float:
+        if t_s <= 0:
+            return self._start
+        if t_s >= self._duration:
+            return self._end
+        return self._start + (self._end - self._start) * t_s / self._duration
+
+
+class FlashCrowdClients(_BaseLoad):
+    """Baseline population plus Gaussian crowd surges.
+
+    Models the "abrupt workload changes" the paper blames for the
+    residual mis-prediction violations of every approach.
+    """
+
+    def __init__(
+        self,
+        baseline: float,
+        surges: Sequence[tuple[float, float, float]],
+    ) -> None:
+        """``surges`` is a list of ``(center_s, height, width_s)`` tuples."""
+        if baseline < 0:
+            raise ValueError("baseline must be non-negative")
+        for center, height, width in surges:
+            if height < 0 or width <= 0:
+                raise ValueError("surge heights must be >= 0 and widths > 0")
+        self._baseline = baseline
+        self._surges = tuple(surges)
+
+    def clients_at(self, t_s: float) -> float:
+        total = self._baseline
+        for center, height, width in self._surges:
+            total += height * math.exp(-0.5 * ((t_s - center) / width) ** 2)
+        return total
+
+
+class TraceClients(_BaseLoad):
+    """Client counts replayed from a sampled array (step interpolation)."""
+
+    def __init__(self, counts: Sequence[float] | np.ndarray, period_s: float) -> None:
+        data = np.asarray(counts, dtype=float)
+        if data.ndim != 1 or data.size == 0:
+            raise ValueError("counts must be a non-empty 1-D sequence")
+        if np.any(data < 0):
+            raise ValueError("client counts must be non-negative")
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self._counts = data
+        self._period = period_s
+
+    def clients_at(self, t_s: float) -> float:
+        index = int(t_s // self._period)
+        index = min(max(index, 0), self._counts.size - 1)
+        return float(self._counts[index])
+
+
+class ComposedLoad(_BaseLoad):
+    """Sum of several loads, optionally scaled (e.g. mixed tenant traffic)."""
+
+    def __init__(self, components: Sequence[ClientLoad], scale: float = 1.0) -> None:
+        if not components:
+            raise ValueError("need at least one component")
+        if scale < 0:
+            raise ValueError("scale must be non-negative")
+        self._components = tuple(components)
+        self._scale = scale
+
+    def clients_at(self, t_s: float) -> float:
+        return self._scale * sum(load.clients_at(t_s) for load in self._components)

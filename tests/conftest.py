@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.trace import TraceSet, UtilizationTrace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for stochastic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def anti_correlated_pair() -> TraceSet:
+    """Two traces whose peaks never coincide (cost exactly 2)."""
+    a = UtilizationTrace([4.0, 0.0, 4.0, 0.0, 4.0, 0.0], 1.0, "a")
+    b = UtilizationTrace([0.0, 4.0, 0.0, 4.0, 0.0, 4.0], 1.0, "b")
+    return TraceSet([a, b])
+
+
+@pytest.fixture
+def correlated_pair() -> TraceSet:
+    """Two traces whose peaks always coincide (cost exactly 1)."""
+    a = UtilizationTrace([1.0, 2.0, 4.0, 2.0, 1.0, 2.0], 1.0, "a")
+    b = UtilizationTrace([0.5, 1.0, 2.0, 1.0, 0.5, 1.0], 1.0, "b")
+    return TraceSet([a, b])
+
+
+@pytest.fixture
+def four_vm_traces() -> TraceSet:
+    """Two anti-correlated service pairs used by allocation tests.
+
+    ``a1``/``a2`` peak together in the first half; ``b1``/``b2`` in the
+    second half — the correlation-aware allocator should pair an ``a``
+    with a ``b``.
+    """
+    a1 = UtilizationTrace([3.0, 3.0, 3.0, 0.5, 0.5, 0.5], 1.0, "a1")
+    a2 = UtilizationTrace([3.0, 3.0, 3.0, 0.5, 0.5, 0.5], 1.0, "a2")
+    b1 = UtilizationTrace([0.5, 0.5, 0.5, 3.0, 3.0, 3.0], 1.0, "b1")
+    b2 = UtilizationTrace([0.5, 0.5, 0.5, 3.0, 3.0, 3.0], 1.0, "b2")
+    return TraceSet([a1, a2, b1, b2])

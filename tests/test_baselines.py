@@ -1,0 +1,193 @@
+"""Tests for repro.baselines — BFD, FFD and PCP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bfd import best_fit_decreasing
+from repro.baselines.ffd import first_fit_decreasing
+from repro.baselines.pcp import (
+    PcpConfig,
+    cluster_by_envelope,
+    envelope_overlap,
+    peak_clustering_placement,
+)
+from repro.core.allocation import CapacityError
+from repro.traces.trace import TraceSet, UtilizationTrace
+
+sizes_strategy = st.lists(st.floats(min_value=0.1, max_value=8.0), min_size=1, max_size=25)
+
+
+class TestBestFitDecreasing:
+    def test_classic_best_fit_choice(self):
+        # After placing 6 and 5 on separate servers, a 2 must go to the
+        # server with less room (the one holding 6) under best-fit.
+        refs = {"x": 6.0, "y": 5.0, "z": 2.0}
+        placement = best_fit_decreasing(list(refs), refs, 8)
+        assert placement.server_of("z") == placement.server_of("x")
+
+    def test_minimises_servers_on_perfect_fit(self):
+        refs = {"a": 4.0, "b": 4.0, "c": 4.0, "d": 4.0}
+        placement = best_fit_decreasing(list(refs), refs, 8)
+        assert placement.num_active_servers == 2
+
+    def test_fleet_bound(self):
+        refs = {"a": 8.0, "b": 8.0}
+        with pytest.raises(CapacityError):
+            best_fit_decreasing(list(refs), refs, 8, max_servers=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            best_fit_decreasing(["a", "a"], {"a": 1.0}, 8)
+        with pytest.raises(ValueError, match="nothing"):
+            best_fit_decreasing([], {}, 8)
+        with pytest.raises(ValueError, match="missing"):
+            best_fit_decreasing(["a"], {}, 8)
+        with pytest.raises(ValueError, match="positive"):
+            best_fit_decreasing(["a"], {"a": 1.0}, 0)
+
+    @settings(max_examples=40)
+    @given(sizes_strategy)
+    def test_feasible_and_complete(self, sizes):
+        refs = {f"v{i:02d}": s for i, s in enumerate(sizes)}
+        placement = best_fit_decreasing(list(refs), refs, 8)
+        assert sorted(placement.vm_ids) == sorted(refs)
+        placement.validate_capacity(refs, 8.0)
+
+
+class TestFirstFitDecreasing:
+    def test_first_fit_choice(self):
+        # FFD puts the 2 in the FIRST server with room (the one holding 6
+        # has 2 free -> fits first by index).
+        refs = {"x": 6.0, "y": 5.0, "z": 2.0}
+        placement = first_fit_decreasing(list(refs), refs, 8)
+        assert placement.server_of("z") == placement.server_of("x")
+
+    def test_ffd_classic_guarantee(self):
+        """FFD stays within 11/9 OPT + 1 on random instances."""
+        rng = np.random.default_rng(3)
+        sizes = rng.uniform(0.5, 4.0, size=30)
+        refs = {f"v{i:02d}": float(s) for i, s in enumerate(sizes)}
+        placement = first_fit_decreasing(list(refs), refs, 8)
+        optimal_lb = int(np.ceil(sum(sizes) / 8.0))
+        assert placement.num_active_servers <= int(np.ceil(11 / 9 * optimal_lb)) + 1
+
+    @settings(max_examples=40)
+    @given(sizes_strategy)
+    def test_feasible_and_complete(self, sizes):
+        refs = {f"v{i:02d}": s for i, s in enumerate(sizes)}
+        placement = first_fit_decreasing(list(refs), refs, 8)
+        assert sorted(placement.vm_ids) == sorted(refs)
+        placement.validate_capacity(refs, 8.0)
+
+
+class TestEnvelopeOverlap:
+    def test_identical_envelopes(self):
+        env = np.array([0, 1, 1, 0], dtype=np.int8)
+        assert envelope_overlap(env, env) == 1.0
+
+    def test_disjoint_envelopes(self):
+        a = np.array([1, 0, 0, 0], dtype=np.int8)
+        b = np.array([0, 0, 0, 1], dtype=np.int8)
+        assert envelope_overlap(a, b) == 0.0
+
+    def test_normalised_by_smaller(self):
+        a = np.array([1, 1, 1, 1], dtype=np.int8)
+        b = np.array([1, 0, 0, 0], dtype=np.int8)
+        assert envelope_overlap(a, b) == 1.0
+
+    def test_empty_envelope_is_zero(self):
+        a = np.zeros(4, dtype=np.int8)
+        b = np.ones(4, dtype=np.int8)
+        assert envelope_overlap(a, b) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            envelope_overlap(np.ones(3, dtype=np.int8), np.ones(4, dtype=np.int8))
+
+
+class TestEnvelopeClustering:
+    def test_correlated_pairs_cluster_together(self, four_vm_traces):
+        clusters = cluster_by_envelope(four_vm_traces, PcpConfig(offpeak_percentile=50.0))
+        as_sets = [set(c) for c in clusters]
+        assert {"a1", "a2"} in as_sets
+        assert {"b1", "b2"} in as_sets
+
+    def test_single_cluster_for_identical_population(self):
+        base = [1.0, 1.0, 5.0, 5.0, 1.0, 1.0]
+        traces = TraceSet(
+            UtilizationTrace(base, 1.0, f"v{i}") for i in range(4)
+        )
+        clusters = cluster_by_envelope(traces, PcpConfig(offpeak_percentile=50.0))
+        assert len(clusters) == 1
+
+    def test_clusters_ordered_largest_first(self, four_vm_traces):
+        clusters = cluster_by_envelope(four_vm_traces, PcpConfig(offpeak_percentile=50.0))
+        lengths = [len(c) for c in clusters]
+        assert lengths == sorted(lengths, reverse=True)
+
+
+class TestPcpPlacement:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PcpConfig(offpeak_percentile=100.0)
+        with pytest.raises(ValueError):
+            PcpConfig(overlap_threshold=0.0)
+
+    def test_spreads_clusters(self, four_vm_traces):
+        offpeak = {name: 3.0 for name in four_vm_traces.names}
+        peak = {name: 3.5 for name in four_vm_traces.names}
+        result = peak_clustering_placement(
+            four_vm_traces, offpeak, peak, 8, PcpConfig(offpeak_percentile=50.0)
+        )
+        assert result.num_clusters == 2
+        for members in result.placement.by_server().values():
+            if len(members) == 2:
+                assert {vm[0] for vm in members} == {"a", "b"}
+
+    def test_single_cluster_degenerates_to_peak_provisioning(self):
+        """With one cluster the buffer is additive: capacity check = sum of peaks."""
+        base = [1.0, 1.0, 5.0, 5.0, 1.0, 1.0]
+        traces = TraceSet(UtilizationTrace(base, 1.0, f"v{i}") for i in range(4))
+        offpeak = {f"v{i}": 3.0 for i in range(4)}
+        peak = {f"v{i}": 5.0 for i in range(4)}
+        result = peak_clustering_placement(
+            traces, offpeak, peak, 8, PcpConfig(offpeak_percentile=50.0)
+        )
+        assert result.num_clusters == 1
+        # Sum of peaks = 20 -> ceil(20/8) = 3 servers, exactly like BFD
+        # on peak references (5+... each server holds one VM at 5 + one
+        # at 5 = 10 > 8, so one per... 8/5 -> 1 per server with 3 free;
+        # second 5 does not fit (5+5=10); BFD on peaks gives 4 bins of 1?
+        # No: peaks 5,5,5,5 on capacity 8 -> one per server = 4 servers.
+        assert result.placement.num_active_servers == 4
+
+    def test_multi_cluster_shares_buffer(self, four_vm_traces):
+        """Cross-cluster buffer is shared: off-peak 3 + excursion 2 packs 2/server."""
+        offpeak = {name: 3.0 for name in four_vm_traces.names}
+        peak = {name: 5.0 for name in four_vm_traces.names}
+        result = peak_clustering_placement(
+            four_vm_traces, offpeak, peak, 8, PcpConfig(offpeak_percentile=50.0)
+        )
+        # 3 + 3 + max-excursion 2 = 8 <= 8: two VMs of different clusters
+        # share a server; plain peak provisioning (5 + 5 = 10) could not.
+        assert result.placement.num_active_servers == 2
+
+    def test_offpeak_clamped_to_peak(self, four_vm_traces):
+        offpeak = {name: 6.0 for name in four_vm_traces.names}
+        peak = {name: 3.0 for name in four_vm_traces.names}
+        result = peak_clustering_placement(four_vm_traces, offpeak, peak, 8)
+        result.placement.validate_capacity({n: 3.0 for n in four_vm_traces.names}, 8.0)
+
+    def test_missing_references_rejected(self, four_vm_traces):
+        with pytest.raises(ValueError, match="missing"):
+            peak_clustering_placement(four_vm_traces, {}, {}, 8)
+
+    def test_fleet_bound(self, four_vm_traces):
+        offpeak = {name: 7.0 for name in four_vm_traces.names}
+        peak = {name: 8.0 for name in four_vm_traces.names}
+        with pytest.raises(CapacityError):
+            peak_clustering_placement(four_vm_traces, offpeak, peak, 8, max_servers=2)

@@ -1,0 +1,46 @@
+"""Tests for repro.cli — the experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command(self):
+        args = build_parser().parse_args(["run", "fig1", "--fast"])
+        assert args.command == "run"
+        assert args.experiment == "fig1"
+        assert args.fast
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "table2" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "[table1]" in out
+        assert "Blackscholes" in out
+
+    def test_run_fast_fig1(self, capsys):
+        assert main(["run", "fig1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Intra-cluster correlation" in out

@@ -1,0 +1,134 @@
+"""Tests for repro.traces.datacenter — the synthetic trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import pearson
+from repro.traces.datacenter import (
+    DatacenterTraceConfig,
+    generate_datacenter_traces,
+    select_top_utilization,
+)
+
+
+@pytest.fixture(scope="module")
+def small_population():
+    config = DatacenterTraceConfig(
+        num_vms=12, num_clusters=3, duration_s=6 * 3600.0, seed=5
+    )
+    traces, membership = generate_datacenter_traces(config)
+    return config, traces, membership
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        DatacenterTraceConfig()
+
+    def test_cluster_count_bounds(self):
+        with pytest.raises(ValueError):
+            DatacenterTraceConfig(num_vms=4, num_clusters=5)
+        with pytest.raises(ValueError):
+            DatacenterTraceConfig(num_clusters=0)
+
+    def test_correlation_bounds(self):
+        with pytest.raises(ValueError):
+            DatacenterTraceConfig(intra_cluster_correlation=1.2)
+        with pytest.raises(ValueError):
+            DatacenterTraceConfig(global_correlation=-0.1)
+
+    def test_mean_utilization_bounds(self):
+        with pytest.raises(ValueError):
+            DatacenterTraceConfig(mean_utilization=0.0)
+        with pytest.raises(ValueError):
+            DatacenterTraceConfig(mean_utilization=5.0, vm_core_cap=4.0)
+
+    def test_burst_validation(self):
+        with pytest.raises(ValueError):
+            DatacenterTraceConfig(burst_decay_s=0.0)
+        with pytest.raises(ValueError):
+            DatacenterTraceConfig(burst_amplitude=-1.0)
+
+    def test_num_samples(self):
+        config = DatacenterTraceConfig(duration_s=3600.0, period_s=300.0)
+        assert config.num_samples == 12
+
+
+class TestGeneratedPopulation:
+    def test_shape(self, small_population):
+        config, traces, membership = small_population
+        assert traces.num_traces == 12
+        assert traces.num_samples == config.num_samples
+        assert traces.period_s == 300.0
+
+    def test_membership_covers_all_vms(self, small_population):
+        _, traces, membership = small_population
+        assert set(membership) == set(traces.names)
+        assert set(membership.values()) == {f"cluster{i}" for i in range(3)}
+
+    def test_demand_within_cap(self, small_population):
+        config, traces, _ = small_population
+        assert traces.matrix.max() <= config.vm_core_cap + 1e-9
+        assert traces.matrix.min() >= 0.0
+
+    def test_under_utilized_on_average(self, small_population):
+        config, traces, _ = small_population
+        assert traces.matrix.mean() < config.vm_core_cap / 2.0
+
+    def test_deterministic_per_seed(self):
+        config = DatacenterTraceConfig(num_vms=6, num_clusters=2, duration_s=3600.0, seed=9)
+        t1, m1 = generate_datacenter_traces(config)
+        t2, m2 = generate_datacenter_traces(config)
+        assert np.array_equal(t1.matrix, t2.matrix)
+        assert m1 == m2
+
+    def test_different_seeds_differ(self):
+        base = dict(num_vms=6, num_clusters=2, duration_s=3600.0)
+        t1, _ = generate_datacenter_traces(DatacenterTraceConfig(seed=1, **base))
+        t2, _ = generate_datacenter_traces(DatacenterTraceConfig(seed=2, **base))
+        assert not np.array_equal(t1.matrix, t2.matrix)
+
+    def test_intra_cluster_correlation_exceeds_cross(self, small_population):
+        _, traces, membership = small_population
+        same, cross = [], []
+        names = traces.names
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                rho = pearson(traces.matrix[i], traces.matrix[j])
+                bucket = same if membership[names[i]] == membership[names[j]] else cross
+                bucket.append(rho)
+        assert np.mean(same) > np.mean(cross) + 0.1
+
+    def test_same_cluster_vms_similarly_sized(self, small_population):
+        _, traces, membership = small_population
+        names = traces.names
+        means = {name: traces[name].mean() for name in names}
+        by_cluster: dict[str, list[float]] = {}
+        for name, cluster in membership.items():
+            by_cluster.setdefault(cluster, []).append(means[name])
+        for sizes in by_cluster.values():
+            spread = max(sizes) / min(sizes)
+            assert spread < 1.8
+
+
+class TestTopUtilizationSelection:
+    def test_keeps_highest_mean(self, small_population):
+        _, traces, _ = small_population
+        top = select_top_utilization(traces, 4)
+        kept_means = sorted(top[i].mean() for i in range(4))
+        all_means = sorted(traces[i].mean() for i in range(12))
+        assert kept_means == pytest.approx(all_means[-4:])
+
+    def test_preserves_positional_order(self, small_population):
+        _, traces, _ = small_population
+        top = select_top_utilization(traces, 5)
+        indices = [traces.index_of(name) for name in top.names]
+        assert indices == sorted(indices)
+
+    def test_bounds_checked(self, small_population):
+        _, traces, _ = small_population
+        with pytest.raises(ValueError):
+            select_top_utilization(traces, 0)
+        with pytest.raises(ValueError):
+            select_top_utilization(traces, 13)

@@ -1,0 +1,79 @@
+"""Tests for repro.sim.deployment — applying decisions to the fleet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.manager import ManagerConfig, PowerManager
+from repro.infrastructure.datacenter import Datacenter
+from repro.infrastructure.server import XEON_E5410
+from repro.sim.deployment import apply_decision
+
+
+@pytest.fixture
+def manager() -> PowerManager:
+    return PowerManager(
+        ManagerConfig(
+            n_cores=8, freq_levels_ghz=(2.0, 2.3), max_servers=4, default_reference=4.0
+        )
+    )
+
+
+class TestApplyDecision:
+    def test_first_application_powers_on(self, manager, four_vm_traces):
+        datacenter = Datacenter(XEON_E5410, 4)
+        decision = manager.decide(four_vm_traces)
+        delta = apply_decision(datacenter, decision)
+        assert datacenter.num_active == decision.placement.num_active_servers
+        assert len(delta.powered_on) == decision.placement.num_active_servers
+        assert delta.powered_off == ()
+        assert delta.migrations == 0  # no previous placement
+
+    def test_frequencies_actuated(self, manager, four_vm_traces):
+        datacenter = Datacenter(XEON_E5410, 4)
+        decision = manager.decide(four_vm_traces)
+        apply_decision(datacenter, decision)
+        for server_index in decision.placement.active_servers:
+            assert (
+                datacenter[server_index].freq_ghz
+                == decision.frequencies[server_index].freq_ghz
+            )
+
+    def test_stationary_decision_is_noop_after_repeat(self, manager, four_vm_traces):
+        datacenter = Datacenter(XEON_E5410, 4)
+        first = manager.decide(four_vm_traces)
+        apply_decision(datacenter, first)
+        second = manager.decide(four_vm_traces)
+        delta = apply_decision(datacenter, second, previous_placement=first.placement)
+        assert delta.migrations == 0
+        assert delta.powered_on == ()
+        assert delta.powered_off == ()
+
+    def test_fleet_too_small_rejected(self, manager, four_vm_traces):
+        decision = manager.decide(four_vm_traces)
+        small = Datacenter(XEON_E5410, 1)
+        with pytest.raises(ValueError, match="fleet has 1"):
+            apply_decision(small, decision)
+
+    def test_delta_noop_property(self, manager, four_vm_traces):
+        datacenter = Datacenter(XEON_E5410, 4)
+        first = manager.decide(four_vm_traces)
+        delta = apply_decision(datacenter, first)
+        assert not delta.is_noop  # powering on is a change
+        second = manager.decide(four_vm_traces)
+        again = apply_decision(datacenter, second, previous_placement=first.placement)
+        assert again.is_noop
+
+
+class TestCliExport:
+    def test_export_coarse(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.traces.io import load_trace_set_csv
+
+        path = tmp_path / "pop.csv"
+        assert main(["export-traces", str(path), "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 40 traces" in out
+        traces = load_trace_set_csv(path)
+        assert traces.num_traces == 40
+        assert traces.period_s == 300.0

@@ -1,0 +1,116 @@
+"""Tests for repro.infrastructure.dvfs — ladders and scaling policies."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.infrastructure.dvfs import (
+    FrequencyLadder,
+    StaticVfSetting,
+    UtilizationTrackingPolicy,
+)
+
+
+@pytest.fixture
+def ladder() -> FrequencyLadder:
+    return FrequencyLadder((2.0, 2.3))
+
+
+class TestFrequencyLadder:
+    def test_sorted_and_deduplicated(self):
+        ladder = FrequencyLadder((2.3, 2.0, 2.3))
+        assert ladder.levels_ghz == (2.0, 2.3)
+        assert ladder.num_levels == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FrequencyLadder(())
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            FrequencyLadder((0.0, 1.0))
+
+    def test_quantize_up(self, ladder):
+        assert ladder.quantize_up(1.5) == 2.0
+        assert ladder.quantize_up(2.0) == 2.0
+        assert ladder.quantize_up(2.01) == 2.3
+        assert ladder.quantize_up(9.0) == 2.3
+
+    def test_quantize_down(self, ladder):
+        assert ladder.quantize_down(2.2) == 2.0
+        assert ladder.quantize_down(2.3) == 2.3
+        assert ladder.quantize_down(1.0) == 2.0
+
+    def test_non_finite_clamps_to_fmax(self, ladder):
+        assert ladder.quantize_up(math.inf) == 2.3
+        assert ladder.quantize_up(math.nan) == 2.3
+
+    def test_index_of(self, ladder):
+        assert ladder.index_of(2.0) == 0
+        with pytest.raises(ValueError, match="not a ladder level"):
+            ladder.index_of(2.1)
+
+    def test_contains(self, ladder):
+        assert 2.0 in ladder
+        assert 2.1 not in ladder
+
+    @given(st.floats(min_value=0.1, max_value=5.0))
+    def test_quantize_up_never_under_provisions(self, target):
+        ladder = FrequencyLadder((1.0, 1.5, 2.0, 2.5))
+        chosen = ladder.quantize_up(target)
+        assert chosen in ladder.levels_ghz
+        if target <= ladder.fmax_ghz:
+            assert chosen >= target - 1e-12
+
+    @given(st.floats(min_value=0.1, max_value=5.0))
+    def test_quantize_down_never_exceeds(self, target):
+        ladder = FrequencyLadder((1.0, 1.5, 2.0, 2.5))
+        chosen = ladder.quantize_down(target)
+        if target >= ladder.fmin_ghz:
+            assert chosen <= target + 1e-12
+
+
+class TestStaticVfSetting:
+    def test_holds_values(self):
+        s = StaticVfSetting(freq_ghz=2.0, target_ghz=1.7)
+        assert s.freq_ghz == 2.0
+        assert s.target_ghz == 1.7
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError, match="positive"):
+            StaticVfSetting(freq_ghz=0.0, target_ghz=1.0)
+
+
+class TestUtilizationTrackingPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            UtilizationTrackingPolicy(interval_samples=0)
+        with pytest.raises(ValueError, match="under-provision"):
+            UtilizationTrackingPolicy(headroom=0.5)
+
+    def test_empty_window_provisions_fmax(self, ladder):
+        policy = UtilizationTrackingPolicy()
+        assert policy.choose([], ladder, 8) == 2.3
+
+    def test_covers_recent_peak(self, ladder):
+        policy = UtilizationTrackingPolicy()
+        # peak 6 cores of 8 -> target 6/8*2.3 = 1.725 -> 2.0 GHz
+        assert policy.choose([3.0, 6.0, 2.0], ladder, 8) == 2.0
+        # peak 7.5 -> target 2.16 -> 2.3 GHz
+        assert policy.choose([7.5], ladder, 8) == 2.3
+
+    def test_headroom_raises_choice(self, ladder):
+        tight = UtilizationTrackingPolicy(headroom=1.0)
+        safe = UtilizationTrackingPolicy(headroom=1.2)
+        window = [6.0]
+        assert tight.choose(window, ladder, 8) == 2.0
+        assert safe.choose(window, ladder, 8) == 2.3
+
+    def test_bad_core_count_rejected(self, ladder):
+        policy = UtilizationTrackingPolicy()
+        with pytest.raises(ValueError, match="positive"):
+            policy.choose([1.0], ladder, 0)

@@ -1,0 +1,114 @@
+"""Property-based tests of the replay engine and the PCP invariant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.pcp import PcpConfig, peak_clustering_placement
+from repro.infrastructure.server import XEON_E5410
+from repro.sim.approaches import BfdApproach, ProposedApproach
+from repro.sim.engine import ReplayConfig, replay
+from repro.traces.trace import TraceSet, UtilizationTrace
+
+SAMPLES_PER_PERIOD = 30
+
+
+def traces_from_matrix(matrix: np.ndarray) -> TraceSet:
+    return TraceSet(
+        UtilizationTrace(matrix[i], 10.0, f"vm{i:02d}") for i in range(matrix.shape[0])
+    )
+
+
+demand_matrices = st.integers(min_value=1, max_value=5).flatmap(
+    lambda n_vms: st.lists(
+        st.lists(
+            st.floats(min_value=0.0, max_value=4.0),
+            min_size=3 * SAMPLES_PER_PERIOD,
+            max_size=3 * SAMPLES_PER_PERIOD,
+        ),
+        min_size=n_vms,
+        max_size=n_vms,
+    )
+)
+
+
+class TestReplayInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(demand_matrices)
+    def test_replay_accounting_invariants(self, rows):
+        """For any demand matrix: ratios in [0,1], power within physical
+        bounds, every sample attributed to a residency bucket."""
+        matrix = np.asarray(rows)
+        traces = traces_from_matrix(matrix)
+        num_servers = matrix.shape[0] + 1
+        approach = BfdApproach(8, (2.0, 2.3), default_reference=4.0)
+        result = replay(
+            traces,
+            XEON_E5410,
+            num_servers,
+            approach,
+            ReplayConfig(tperiod_s=SAMPLES_PER_PERIOD * 10.0),
+        )
+        assert np.all(result.violation_ratio >= 0.0)
+        assert np.all(result.violation_ratio <= 1.0)
+        busy_cap = XEON_E5410.power_model.busy_power_w(2.3) * num_servers
+        assert 0.0 <= result.avg_power_w <= busy_cap
+        counted = sum(result.residency.merged().values()) + sum(
+            result.residency.inactive(i) for i in range(num_servers)
+        )
+        assert counted == result.num_periods * SAMPLES_PER_PERIOD * num_servers
+
+    @settings(max_examples=10, deadline=None)
+    @given(demand_matrices)
+    def test_proposed_never_beats_physics(self, rows):
+        """The Eqn-4 discount can never push fleet power below the idle
+        floor of its active servers."""
+        matrix = np.asarray(rows)
+        traces = traces_from_matrix(matrix)
+        num_servers = matrix.shape[0] + 1
+        approach = ProposedApproach(8, (2.0, 2.3), default_reference=4.0)
+        result = replay(
+            traces,
+            XEON_E5410,
+            num_servers,
+            approach,
+            ReplayConfig(tperiod_s=SAMPLES_PER_PERIOD * 10.0),
+        )
+        idle_floor = XEON_E5410.power_model.idle_power_w(2.0)
+        assert result.avg_power_w >= idle_floor * result.mean_active_servers * 0.999
+
+
+class TestPcpInvariantProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.floats(min_value=0.2, max_value=3.5),
+        st.floats(min_value=0.0, max_value=2.0),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_buffer_invariant_holds(self, n_vms, offpeak_level, excursion, seed):
+        """For any sizes, every server satisfies off-peak sum + worst
+        cluster excursion <= capacity (checked internally, re-checked
+        here against the returned placement)."""
+        rng = np.random.default_rng(seed)
+        window = TraceSet(
+            UtilizationTrace(rng.uniform(0.0, 4.0, size=40), 10.0, f"vm{i}")
+            for i in range(n_vms)
+        )
+        offpeak = {f"vm{i}": offpeak_level for i in range(n_vms)}
+        peak = {f"vm{i}": min(offpeak_level + excursion, 4.0) for i in range(n_vms)}
+        result = peak_clustering_placement(window, offpeak, peak, 8, PcpConfig())
+        cluster_of = {
+            vm: ci for ci, cluster in enumerate(result.clusters) for vm in cluster
+        }
+        for members in result.placement.by_server().values():
+            committed = sum(min(offpeak[vm], peak[vm]) for vm in members)
+            per_cluster: dict[int, float] = {}
+            for vm in members:
+                exc = max(peak[vm] - min(offpeak[vm], peak[vm]), 0.0)
+                per_cluster[cluster_of[vm]] = per_cluster.get(cluster_of[vm], 0.0) + exc
+            buffer = max(per_cluster.values(), default=0.0)
+            assert committed + buffer <= 8.0 + 1e-9

@@ -1,0 +1,95 @@
+"""Tests for repro.analysis.interference — the Table-I cache model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.interference import (
+    CacheSystem,
+    PARSEC_BLACKSCHOLES,
+    PARSEC_CANNEAL,
+    WEB_SEARCH,
+    WorkloadProfile,
+    colocation_metrics,
+)
+
+CACHE = CacheSystem(size_mb=12.0)
+
+
+class TestWorkloadProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", ipc_peak=0.0, apki=1.0, working_set_mb=1.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", ipc_peak=1.0, apki=-1.0, working_set_mb=1.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile(
+                "x", ipc_peak=1.0, apki=1.0, working_set_mb=1.0, hit_floor=0.9, hit_max=0.5
+            )
+
+    def test_hit_rate_saturates(self):
+        profile = WorkloadProfile("x", 1.0, 10.0, working_set_mb=4.0, hit_max=0.9)
+        assert profile.hit_rate(4.0) == pytest.approx(0.9)
+        assert profile.hit_rate(8.0) == pytest.approx(0.9)
+        assert profile.hit_rate(2.0) == pytest.approx(0.45)
+
+    def test_hit_floor_is_capacity_insensitive(self):
+        profile = WorkloadProfile(
+            "x", 1.0, 10.0, working_set_mb=4096.0, hit_floor=0.8, hit_max=0.95
+        )
+        assert profile.hit_rate(0.0) == pytest.approx(0.8)
+        assert profile.hit_rate(12.0) == pytest.approx(0.8, abs=0.01)
+
+    def test_more_cache_never_hurts(self):
+        profile = WEB_SEARCH
+        ipc_small, mpki_small, _ = profile.metrics(2.0)
+        ipc_big, mpki_big, _ = profile.metrics(12.0)
+        assert ipc_big >= ipc_small
+        assert mpki_big <= mpki_small
+
+
+class TestCacheSystem:
+    def test_solo_gets_everything(self):
+        share, rest = CACHE.shares(WEB_SEARCH, None)
+        assert share == 12.0
+        assert rest == 0.0
+
+    def test_split_proportional_to_apki(self):
+        share, rest = CACHE.shares(WEB_SEARCH, PARSEC_BLACKSCHOLES)
+        assert share + rest == pytest.approx(12.0)
+        assert share / rest == pytest.approx(WEB_SEARCH.apki / PARSEC_BLACKSCHOLES.apki)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheSystem(0.0)
+
+
+class TestTableOneClaims:
+    def test_solo_values_match_paper(self):
+        """Web search solo: IPC ~0.76, MPKI ~2.4, miss rate ~11.5%."""
+        result = colocation_metrics(WEB_SEARCH, None, CACHE)
+        assert result.ipc_solo == pytest.approx(0.76, abs=0.03)
+        assert result.mpki_solo == pytest.approx(2.4, abs=0.15)
+        assert result.miss_rate_solo_pct == pytest.approx(11.5, abs=1.0)
+
+    @pytest.mark.parametrize("corunner", [PARSEC_BLACKSCHOLES, PARSEC_CANNEAL])
+    def test_colocation_deltas_negligible(self, corunner):
+        """The paper's central Table-I claim: deltas of a few percent."""
+        result = colocation_metrics(WEB_SEARCH, corunner, CACHE)
+        assert abs(result.ipc_delta_pct) < 3.0
+        assert abs(result.mpki_delta_pct) < 5.0
+
+    def test_cache_sensitive_workload_would_suffer(self):
+        """Sanity: the model is not trivially flat — a cache-resident
+        workload co-located with canneal loses real IPC."""
+        sensitive = WorkloadProfile(
+            "cache-lover", ipc_peak=2.0, apki=30.0, working_set_mb=10.0,
+            hit_floor=0.0, hit_max=0.98, miss_penalty_cycles=100.0,
+        )
+        result = colocation_metrics(sensitive, PARSEC_CANNEAL, CACHE)
+        assert result.ipc_delta_pct < -10.0
+
+    def test_alone_row(self):
+        result = colocation_metrics(WEB_SEARCH, None, CACHE)
+        assert result.corunner == "(alone)"
+        assert result.ipc_colocated == result.ipc_solo

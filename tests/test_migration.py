@@ -1,0 +1,68 @@
+"""Tests for repro.sim.migration — the migration cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.migration import MigrationCostModel
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        MigrationCostModel()
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            MigrationCostModel(memory_gb=0.0)
+        with pytest.raises(ValueError):
+            MigrationCostModel(network_gbps=0.0)
+        with pytest.raises(ValueError):
+            MigrationCostModel(dirty_page_factor=0.9)
+        with pytest.raises(ValueError):
+            MigrationCostModel(overhead_w=-1.0)
+
+
+class TestEnergyAccounting:
+    def test_duration_hand_computed(self):
+        model = MigrationCostModel(
+            memory_gb=4.0, network_gbps=10.0, dirty_page_factor=1.0
+        )
+        # 4 GB * 8 bit/B / 10 Gb/s = 3.2 s
+        assert model.duration_s == pytest.approx(3.2)
+
+    def test_energy_per_migration(self):
+        model = MigrationCostModel(
+            memory_gb=4.0, network_gbps=10.0, dirty_page_factor=1.0, overhead_w=50.0
+        )
+        assert model.energy_per_migration_j == pytest.approx(2 * 50.0 * 3.2)
+
+    def test_total_scales_linearly(self):
+        model = MigrationCostModel()
+        assert model.total_energy_j(10) == pytest.approx(10 * model.energy_per_migration_j)
+        assert model.total_energy_j(0) == 0.0
+        with pytest.raises(ValueError):
+            model.total_energy_j(-1)
+
+    def test_overhead_fraction(self):
+        model = MigrationCostModel()
+        base = 1e6
+        fraction = model.overhead_fraction(5, base)
+        assert fraction == pytest.approx(model.total_energy_j(5) / base)
+        with pytest.raises(ValueError):
+            model.overhead_fraction(1, 0.0)
+
+    def test_dirty_pages_cost_more(self):
+        cold = MigrationCostModel(dirty_page_factor=1.0)
+        live = MigrationCostModel(dirty_page_factor=1.5)
+        assert live.energy_per_migration_j > cold.energy_per_migration_j
+
+    def test_hourly_consolidation_overhead_is_small(self):
+        """The paper's implicit assumption: migration energy is noise.
+
+        40 VMs all moving every hour for a day (an extreme upper bound)
+        against a 10-server fleet idling at ~200 W each.
+        """
+        model = MigrationCostModel()
+        migrations = 40 * 24
+        fleet_energy = 10 * 200.0 * 24 * 3600.0
+        assert model.overhead_fraction(migrations, fleet_energy) < 0.02

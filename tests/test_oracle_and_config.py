@@ -1,0 +1,100 @@
+"""Tests for the oracle replay mode and the repro.config aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.infrastructure.server import XEON_E5410
+from repro.sim.approaches import BfdApproach, PcpApproach, ProposedApproach
+from repro.sim.engine import ReplayConfig, replay
+from repro.traces.trace import TraceSet, UtilizationTrace
+
+
+def ramping_traces() -> TraceSet:
+    """Demand doubles every period: last-value always under-predicts."""
+    periods, samples = 4, 60
+    levels = [1.0, 2.0, 4.0, 7.9]
+    data = np.concatenate([np.full(samples, level) for level in levels])
+    return TraceSet([UtilizationTrace(data, 5.0, "ramp")])
+
+
+class TestOracleMode:
+    def test_oracle_eliminates_ramp_violations(self):
+        traces = ramping_traces()
+        config_blind = ReplayConfig(tperiod_s=300.0)
+        config_oracle = ReplayConfig(tperiod_s=300.0, oracle=True)
+        blind = replay(
+            traces, XEON_E5410, 2,
+            BfdApproach(8, (2.0, 2.3), default_reference=8.0), config_blind,
+        )
+        oracle = replay(
+            traces, XEON_E5410, 2,
+            BfdApproach(8, (2.0, 2.3), default_reference=8.0), config_oracle,
+        )
+        # Last-value provisions each period at the previous (half) level:
+        # every period violates.  The oracle never does.
+        assert blind.max_violation_pct > 50.0
+        assert oracle.max_violation_pct == 0.0
+
+    @pytest.mark.parametrize(
+        "approach_factory",
+        [
+            lambda: ProposedApproach(8, (2.0, 2.3), default_reference=8.0),
+            lambda: BfdApproach(8, (2.0, 2.3), default_reference=8.0),
+            lambda: PcpApproach(8, (2.0, 2.3), default_reference=8.0),
+        ],
+    )
+    def test_all_approaches_support_priming(self, approach_factory):
+        approach = approach_factory()
+        assert hasattr(approach, "prime_oracle")
+        traces = ramping_traces()
+        result = replay(
+            traces, XEON_E5410, 2, approach, ReplayConfig(tperiod_s=300.0, oracle=True)
+        )
+        assert result.num_periods == 3
+
+    def test_priming_is_single_shot(self):
+        """A primed value applies to exactly one decision."""
+        approach = BfdApproach(8, (2.0, 2.3), default_reference=8.0)
+        window = TraceSet([UtilizationTrace(np.full(60, 2.0), 5.0, "ramp")])
+        approach.prime_oracle({"ramp": 7.5})
+        first = approach.decide(window)
+        assert first.predicted_references["ramp"] == 7.5
+        second = approach.decide(window)
+        assert second.predicted_references["ramp"] == 2.0
+
+    def test_reset_clears_priming(self):
+        approach = BfdApproach(8, (2.0, 2.3), default_reference=8.0)
+        approach.prime_oracle({"ramp": 7.5})
+        approach.reset()
+        window = TraceSet([UtilizationTrace(np.full(60, 2.0), 5.0, "ramp")])
+        decision = approach.decide(window)
+        assert decision.predicted_references["ramp"] == pytest.approx(2.0)
+
+
+class TestConfigModule:
+    def test_everything_importable(self):
+        from repro import config
+
+        for name in config.__all__:
+            assert getattr(config, name) is not None
+
+    def test_defaults_construct(self):
+        from repro.config import (
+            AllocationConfig,
+            DatacenterTraceConfig,
+            PcpConfig,
+            QueueingConfig,
+            ReplayConfig,
+            Setup1Config,
+            Setup2Config,
+        )
+
+        AllocationConfig()
+        DatacenterTraceConfig()
+        PcpConfig()
+        QueueingConfig()
+        ReplayConfig()
+        Setup1Config()
+        Setup2Config()

@@ -1,0 +1,73 @@
+"""Tests for repro.core.placement — the shared placement value type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.placement import Placement
+
+
+@pytest.fixture
+def placement() -> Placement:
+    return Placement({"a": 0, "b": 0, "c": 2}, num_servers=4)
+
+
+class TestValidation:
+    def test_index_bounds(self):
+        with pytest.raises(ValueError, match="outside"):
+            Placement({"a": 5}, num_servers=2)
+        with pytest.raises(ValueError, match="outside"):
+            Placement({"a": -1}, num_servers=2)
+
+    def test_needs_servers(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Placement({}, num_servers=0)
+
+    def test_assignment_immutable(self, placement):
+        with pytest.raises(TypeError):
+            placement.assignment["d"] = 1  # type: ignore[index]
+
+
+class TestQueries:
+    def test_server_of(self, placement):
+        assert placement.server_of("c") == 2
+        with pytest.raises(KeyError, match="not placed"):
+            placement.server_of("zzz")
+
+    def test_vms_on(self, placement):
+        assert placement.vms_on(0) == ("a", "b")
+        assert placement.vms_on(1) == ()
+        with pytest.raises(ValueError, match="out of range"):
+            placement.vms_on(9)
+
+    def test_by_server_skips_empty(self, placement):
+        assert placement.by_server() == {0: ("a", "b"), 2: ("c",)}
+
+    def test_active_servers(self, placement):
+        assert placement.active_servers == (0, 2)
+        assert placement.num_active_servers == 2
+        assert placement.num_vms == 3
+        assert set(placement.vm_ids) == {"a", "b", "c"}
+
+
+class TestCapacityValidation:
+    def test_accepts_feasible(self, placement):
+        placement.validate_capacity({"a": 3.0, "b": 4.0, "c": 8.0}, capacity=8.0)
+
+    def test_rejects_overcommit(self, placement):
+        with pytest.raises(ValueError, match="over-committed"):
+            placement.validate_capacity({"a": 5.0, "b": 4.0, "c": 1.0}, capacity=8.0)
+
+
+class TestMigrations:
+    def test_none_previous(self, placement):
+        assert placement.migrations_from(None) == 0
+
+    def test_counts_moved_vms_only(self, placement):
+        previous = Placement({"a": 1, "b": 0, "d": 3}, num_servers=4)
+        # a moved (1 -> 0); b stayed; c is new (not a migration); d left.
+        assert placement.migrations_from(previous) == 1
+
+    def test_identical_placement_zero(self, placement):
+        clone = Placement(dict(placement.assignment), num_servers=4)
+        assert clone.migrations_from(placement) == 0

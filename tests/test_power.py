@@ -1,0 +1,106 @@
+"""Tests for repro.infrastructure.power — the DVFS power model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.infrastructure.power import (
+    DvfsPowerModel,
+    OPTERON_6174_POWER,
+    XEON_E5410_POWER,
+)
+
+
+@pytest.fixture
+def model() -> DvfsPowerModel:
+    return DvfsPowerModel(
+        p_static_w=100.0,
+        p_idle_dyn_w=50.0,
+        p_core_dyn_w=150.0,
+        voltage_by_freq_ghz={1.0: 0.9, 2.0: 1.2},
+    )
+
+
+class TestValidation:
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DvfsPowerModel(-1.0, 0.0, 0.0, {1.0: 1.0})
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            DvfsPowerModel(1.0, 1.0, 1.0, {})
+
+    def test_non_positive_frequency_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            DvfsPowerModel(1.0, 1.0, 1.0, {0.0: 1.0})
+
+    def test_voltage_must_be_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            DvfsPowerModel(1.0, 1.0, 1.0, {1.0: 1.2, 2.0: 1.0})
+
+    def test_frequencies_sorted(self, model):
+        assert model.frequencies_ghz == (1.0, 2.0)
+        assert model.fmax_ghz == 2.0
+
+
+class TestPowerCurve:
+    def test_unknown_frequency_rejected(self, model):
+        with pytest.raises(ValueError, match="operating point"):
+            model.power_w(0.5, 1.5)
+
+    def test_idle_below_busy(self, model):
+        for f in model.frequencies_ghz:
+            assert model.idle_power_w(f) < model.busy_power_w(f)
+
+    def test_power_at_fmax_full_load(self, model):
+        assert model.power_w(1.0, 2.0) == pytest.approx(300.0)
+
+    def test_power_at_fmax_idle(self, model):
+        assert model.power_w(0.0, 2.0) == pytest.approx(150.0)
+
+    def test_lower_frequency_saves_power(self, model):
+        for u in (0.0, 0.5, 1.0):
+            assert model.power_w(u, 1.0) < model.power_w(u, 2.0)
+
+    def test_inactive_draws_nothing(self, model):
+        assert model.power_w(0.7, 2.0, active=False) == 0.0
+
+    def test_overload_saturates_at_busy_power(self, model):
+        assert model.power_w(3.0, 2.0) == model.power_w(1.0, 2.0)
+
+    def test_negative_busy_rejected(self, model):
+        with pytest.raises(ValueError, match="non-negative"):
+            model.power_w(-0.1, 2.0)
+
+    def test_energy(self, model):
+        assert model.energy_j(1.0, 2.0, 10.0) == pytest.approx(3000.0)
+        assert model.energy_j(1.0, 2.0, 10.0, active=False) == 0.0
+        with pytest.raises(ValueError, match="non-negative"):
+            model.energy_j(1.0, 2.0, -1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=0.0, max_value=1.0))
+    def test_monotone_in_utilization(self, u1, u2):
+        model = XEON_E5410_POWER
+        lo, hi = sorted((u1, u2))
+        assert model.power_w(lo, 2.3) <= model.power_w(hi, 2.3) + 1e-9
+
+
+class TestPresets:
+    @pytest.mark.parametrize("preset", [XEON_E5410_POWER, OPTERON_6174_POWER])
+    def test_presets_have_two_levels(self, preset):
+        assert preset.frequencies_ghz == tuple(sorted(preset.frequencies_ghz))
+        assert len(preset.frequencies_ghz) == 2
+
+    def test_xeon_levels_match_paper(self):
+        assert XEON_E5410_POWER.frequencies_ghz == (2.0, 2.3)
+
+    def test_opteron_levels_match_paper(self):
+        assert OPTERON_6174_POWER.frequencies_ghz == (1.9, 2.1)
+
+    @pytest.mark.parametrize("preset", [XEON_E5410_POWER, OPTERON_6174_POWER])
+    def test_plausible_server_magnitudes(self, preset):
+        idle = preset.idle_power_w(preset.fmax_ghz)
+        busy = preset.busy_power_w(preset.fmax_ghz)
+        assert 100.0 < idle < busy < 600.0

@@ -1,0 +1,74 @@
+"""Tests for repro.analysis.reporting — plain-text renderers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import ascii_histogram, ascii_series, ascii_table, format_float
+
+
+class TestFormatFloat:
+    def test_digits(self):
+        assert format_float(1.23456) == "1.235"
+        assert format_float(1.2, digits=1) == "1.2"
+
+
+class TestAsciiTable:
+    def test_alignment_and_title(self):
+        text = ascii_table(["name", "value"], [("a", 1.0), ("longer", 2.5)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert "longer" in lines[-1]
+        assert "2.500" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row width"):
+            ascii_table(["a", "b"], [("only",)])
+
+    def test_empty_rows_ok(self):
+        text = ascii_table(["a"], [])
+        assert "a" in text
+
+
+class TestAsciiHistogram:
+    def test_bar_lengths_proportional(self):
+        text = ascii_histogram({"x": 10, "y": 5}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_counts(self):
+        text = ascii_histogram({"x": 0, "y": 0})
+        assert "#" not in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="nothing"):
+            ascii_histogram({})
+
+    def test_title(self):
+        assert ascii_histogram({"x": 1}, title="H").splitlines()[0] == "H"
+
+
+class TestAsciiSeries:
+    def test_renders_extremes(self):
+        text = ascii_series([0.0, 1.0, 0.5], height=4, width=10)
+        assert "max=1.000" in text
+        assert "min=0.000" in text
+        assert "*" in text
+
+    def test_downsamples_long_series(self):
+        text = ascii_series(np.sin(np.linspace(0, 10, 1000)), height=6, width=40)
+        body = [line for line in text.splitlines() if "*" in line]
+        assert all(len(line) <= 40 for line in body)
+
+    def test_flat_series(self):
+        text = ascii_series([2.0, 2.0], height=4, width=4)
+        assert "max=2.000" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="nothing"):
+            ascii_series([])
+        with pytest.raises(ValueError, match="2x2"):
+            ascii_series([1.0], height=1, width=1)

@@ -1,0 +1,68 @@
+"""Tests for repro.core.server_cost — the Eqn-2 weighted server cost."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.correlation import CostMatrix
+from repro.core.server_cost import prospective_server_cost, server_correlation_cost
+
+
+def flat_cost(a: str, b: str) -> float:
+    return 1.5
+
+
+class TestServerCorrelationCost:
+    def test_empty_and_singleton_are_neutral(self):
+        assert server_correlation_cost([], {}, flat_cost) == 1.0
+        assert server_correlation_cost(["v"], {"v": 2.0}, flat_cost) == 1.0
+
+    def test_two_vms_equal_pairwise_cost(self):
+        refs = {"a": 3.0, "b": 1.0}
+        assert server_correlation_cost(["a", "b"], refs, flat_cost) == pytest.approx(1.5)
+
+    def test_weighted_average_hand_computed(self):
+        # costs: (a,b)=2.0, (a,c)=1.0, (b,c)=1.2; refs a=2, b=1, c=1.
+        table = {
+            frozenset(("a", "b")): 2.0,
+            frozenset(("a", "c")): 1.0,
+            frozenset(("b", "c")): 1.2,
+        }
+
+        def cost(x: str, y: str) -> float:
+            return table[frozenset((x, y))]
+
+        refs = {"a": 2.0, "b": 1.0, "c": 1.0}
+        # w_a=0.5, inner avg (2.0 + 1.0)/2 = 1.5 -> 0.75
+        # w_b=0.25, inner avg (2.0 + 1.2)/2 = 1.6 -> 0.4
+        # w_c=0.25, inner avg (1.0 + 1.2)/2 = 1.1 -> 0.275
+        expected = 0.75 + 0.4 + 0.275
+        assert server_correlation_cost(["a", "b", "c"], refs, cost) == pytest.approx(expected)
+
+    def test_zero_total_reference_is_neutral(self):
+        refs = {"a": 0.0, "b": 0.0}
+        assert server_correlation_cost(["a", "b"], refs, flat_cost) == 1.0
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            server_correlation_cost(["a", "a"], {"a": 1.0}, flat_cost)
+
+    def test_consistent_with_real_matrix(self, four_vm_traces):
+        matrix = CostMatrix.from_traces(four_vm_traces)
+        refs = matrix.references()
+        mixed = server_correlation_cost(["a1", "b1"], refs, matrix.cost)
+        same = server_correlation_cost(["a1", "a2"], refs, matrix.cost)
+        assert mixed > same
+
+
+class TestProspectiveServerCost:
+    def test_matches_direct_evaluation(self, four_vm_traces):
+        matrix = CostMatrix.from_traces(four_vm_traces)
+        refs = matrix.references()
+        direct = server_correlation_cost(["a1", "b1"], refs, matrix.cost)
+        prospective = prospective_server_cost(["a1"], "b1", refs, matrix.cost)
+        assert prospective == pytest.approx(direct)
+
+    def test_existing_member_rejected(self):
+        with pytest.raises(ValueError, match="already a member"):
+            prospective_server_cost(["a"], "a", {"a": 1.0}, flat_cost)

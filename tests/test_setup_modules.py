@@ -1,0 +1,115 @@
+"""Tests for the shared experiment pipelines (setup1 / setup2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.setup1 import (
+    PLACEMENT_BUILDERS,
+    Setup1Config,
+    segregated_scenario,
+    shared_corr_scenario,
+    shared_uncorr_scenario,
+    websearch_clusters,
+)
+from repro.experiments.setup2 import Setup2Config, build_fine_traces, run_setup2
+
+
+class TestSetup1Config:
+    def test_shares_are_mirrored(self):
+        config = Setup1Config(skew=0.2)
+        assert config.cluster1_shares == (0.8, 1.2)
+        assert config.cluster2_shares == (1.2, 0.8)
+
+    def test_skew_bounds(self):
+        with pytest.raises(ValueError):
+            Setup1Config(skew=1.0)
+
+    def test_queueing_config_carries_calibration(self):
+        config = Setup1Config(duration_s=123.0)
+        q = config.queueing()
+        assert q.duration_s == 123.0
+        assert q.qps_per_client == config.qps_per_client
+
+
+class TestScenarioBuilders:
+    def test_segregated_has_four_slices(self):
+        clusters, regions = segregated_scenario(Setup1Config())
+        assert len(regions) == 4
+        assert all(r.n_cores == 4 for r in regions)
+        assert len(clusters) == 2
+
+    def test_shared_scenarios_have_two_servers(self):
+        for builder in (shared_uncorr_scenario, shared_corr_scenario):
+            clusters, regions = builder(Setup1Config())
+            assert len(regions) == 2
+            assert all(r.n_cores == 8 for r in regions)
+
+    def test_shared_corr_mixes_clusters(self):
+        clusters, _ = shared_corr_scenario(Setup1Config())
+        regions_of = {}
+        for cluster in clusters:
+            for name, region in zip(cluster.isn_names, cluster.isn_regions):
+                regions_of.setdefault(region, set()).add(name[:3])
+        # Each server hosts ISNs from both clusters (names VM1,*/VM2,*).
+        for members in regions_of.values():
+            assert members == {"VM1", "VM2"}
+
+    def test_shared_uncorr_keeps_siblings_together(self):
+        clusters, _ = shared_uncorr_scenario(Setup1Config())
+        for cluster in clusters:
+            assert len(set(cluster.isn_regions)) == 1
+
+    def test_frequency_ratio_applied(self):
+        _, regions_full = shared_corr_scenario(Setup1Config(), 2.1)
+        _, regions_low = shared_corr_scenario(Setup1Config(), 1.9)
+        assert regions_full[0].freq_ratio == pytest.approx(1.0)
+        assert regions_low[0].freq_ratio == pytest.approx(1.9 / 2.1)
+
+    def test_unknown_frequency_rejected(self):
+        with pytest.raises(ValueError, match="not an Opteron"):
+            shared_corr_scenario(Setup1Config(), 3.0)
+
+    def test_builders_registry(self):
+        assert set(PLACEMENT_BUILDERS) == {"Segregated", "Shared-UnCorr", "Shared-Corr"}
+
+    def test_websearch_clusters_anti_phased(self):
+        c1, c2 = websearch_clusters(Setup1Config())
+        t = np.linspace(0.0, 300.0, 301)
+        load1 = c1.client_load.sample(t)
+        load2 = c2.client_load.sample(t)
+        # sine vs cosine: peaks offset by a quarter period.
+        assert abs(np.argmax(load1) - np.argmax(load2)) > 30
+
+
+class TestSetup2Pipeline:
+    @pytest.fixture(scope="class")
+    def fast_config(self) -> Setup2Config:
+        return Setup2Config().fast_variant()
+
+    def test_fast_variant_shrinks(self, fast_config):
+        assert fast_config.traces.num_vms == 16
+        assert fast_config.num_servers == 10
+
+    def test_build_fine_traces_shape(self, fast_config):
+        fine = build_fine_traces(fast_config)
+        assert fine.num_traces == 16
+        assert fine.period_s == 5.0
+        assert fine.duration_s == fast_config.traces.duration_s
+
+    def test_run_produces_all_three_approaches(self, fast_config):
+        outcome = run_setup2(fast_config, dvfs_mode="static")
+        names = [r.approach_name for r in outcome.results]
+        assert names == ["BFD", "PCP", "Proposed"]
+        with pytest.raises(KeyError):
+            outcome.result("nope")
+
+    def test_shared_traces_reused(self, fast_config):
+        fine = build_fine_traces(fast_config)
+        outcome = run_setup2(fast_config, dvfs_mode="static", fine_traces=fine)
+        assert outcome.fine_traces is fine
+
+    def test_invalid_mode_rejected(self, fast_config):
+        with pytest.raises(ValueError, match="dvfs_mode"):
+            run_setup2(fast_config, dvfs_mode="off")

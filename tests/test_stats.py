@@ -1,0 +1,237 @@
+"""Tests for repro.analysis.stats — exact and streaming statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    PSquarePercentile,
+    RunningMax,
+    RunningMeanVar,
+    RunningPercentile,
+    autocorrelation,
+    empirical_cdf,
+    pearson,
+    percentile,
+)
+
+finite_floats = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+class TestPercentile:
+    def test_peak_is_maximum(self):
+        assert percentile([1.0, 5.0, 3.0], 100.0) == 5.0
+
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50.0) == 2.0
+
+    def test_interpolates(self):
+        assert percentile([0.0, 10.0], 50.0) == pytest.approx(5.0)
+
+    def test_zeroth_is_minimum(self):
+        assert percentile([4.0, 1.0, 9.0], 0.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="0, 100"):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError, match="0, 100"):
+            percentile([1.0], -1.0)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_bounded_by_extremes(self, values):
+        q90 = percentile(values, 90.0)
+        assert min(values) - 1e-9 <= q90 <= max(values) + 1e-9
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert pearson([1.0, 1.0, 1.0], [1, 2, 3]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="two samples"):
+            pearson([1.0], [2.0])
+
+    @given(st.lists(finite_floats, min_size=3, max_size=30))
+    def test_self_correlation_is_one_or_zero(self, values):
+        rho = pearson(values, values)
+        # Constant (or numerically constant) input degenerates to 0 by
+        # convention; anything else must self-correlate perfectly.
+        assert rho == 0.0 or rho == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=3, max_size=30))
+    def test_within_unit_interval(self, values):
+        other = list(reversed(values))
+        rho = pearson(values, other)
+        assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        assert autocorrelation([1.0, 2.0, 3.0, 4.0], 0) == 1.0
+
+    def test_periodic_signal(self):
+        t = np.arange(100)
+        wave = np.sin(2 * np.pi * t / 10)
+        assert autocorrelation(wave, 10) == pytest.approx(1.0, abs=1e-6)
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            autocorrelation([1.0, 2.0, 3.0], -1)
+
+    def test_excessive_lag_rejected(self):
+        with pytest.raises(ValueError, match="too large"):
+            autocorrelation([1.0, 2.0, 3.0], 5)
+
+
+class TestEmpiricalCdf:
+    def test_values_sorted_and_probs_end_at_one(self):
+        values, probs = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert probs[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(probs) > 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            empirical_cdf([])
+
+
+class TestRunningMax:
+    def test_tracks_maximum(self):
+        r = RunningMax()
+        r.extend([1.0, 5.0, 3.0])
+        assert r.value == 5.0
+        assert r.count == 3
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no samples"):
+            _ = RunningMax().value
+
+    def test_reset(self):
+        r = RunningMax()
+        r.update(9.0)
+        r.reset()
+        assert r.count == 0
+        with pytest.raises(ValueError):
+            _ = r.value
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_matches_builtin_max(self, values):
+        r = RunningMax()
+        r.extend(values)
+        assert r.value == max(values)
+
+
+class TestRunningMeanVar:
+    def test_matches_numpy(self):
+        data = [1.0, 2.0, 3.0, 4.0, 10.0]
+        r = RunningMeanVar()
+        r.extend(data)
+        assert r.mean == pytest.approx(np.mean(data))
+        assert r.variance == pytest.approx(np.var(data))
+        assert r.std == pytest.approx(np.std(data))
+
+    def test_single_sample_variance_zero(self):
+        r = RunningMeanVar()
+        r.update(7.0)
+        assert r.variance == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no samples"):
+            _ = RunningMeanVar().mean
+
+    @given(st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=2, max_size=200))
+    def test_welford_matches_numpy(self, values):
+        r = RunningMeanVar()
+        r.extend(values)
+        assert r.mean == pytest.approx(float(np.mean(values)), abs=1e-6)
+        assert r.variance == pytest.approx(float(np.var(values)), rel=1e-6, abs=1e-6)
+
+
+class TestPSquare:
+    def test_rejects_extreme_quantiles(self):
+        with pytest.raises(ValueError, match="interior"):
+            PSquarePercentile(100.0)
+        with pytest.raises(ValueError, match="interior"):
+            PSquarePercentile(0.0)
+
+    def test_exact_below_five_samples(self):
+        p = PSquarePercentile(50.0)
+        p.extend([1.0, 3.0, 2.0])
+        assert p.value == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no samples"):
+            _ = PSquarePercentile(50.0).value
+
+    def test_converges_on_uniform(self, rng):
+        data = rng.uniform(0.0, 1.0, size=5000)
+        p = PSquarePercentile(90.0)
+        p.extend(data)
+        assert p.value == pytest.approx(0.9, abs=0.03)
+
+    def test_converges_on_lognormal(self, rng):
+        data = rng.lognormal(0.0, 0.5, size=5000)
+        p = PSquarePercentile(90.0)
+        p.extend(data)
+        exact = percentile(data, 90.0)
+        assert p.value == pytest.approx(exact, rel=0.05)
+
+    def test_reset_restores_initial_state(self, rng):
+        p = PSquarePercentile(75.0)
+        p.extend(rng.uniform(size=100))
+        p.reset()
+        assert p.count == 0
+        p.extend([1.0, 2.0, 3.0, 4.0])
+        assert p.value == pytest.approx(percentile([1, 2, 3, 4], 75.0))
+
+    @settings(max_examples=25)
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=200, max_size=400), st.sampled_from([25.0, 50.0, 75.0, 90.0, 95.0]))
+    def test_estimate_within_sample_range(self, values, q):
+        p = PSquarePercentile(q)
+        p.extend(values)
+        assert min(values) - 1e-9 <= p.value <= max(values) + 1e-9
+
+
+class TestRunningPercentile:
+    def test_peak_mode_uses_running_max(self):
+        r = RunningPercentile(100.0)
+        r.extend([1.0, 9.0, 4.0])
+        assert r.value == 9.0
+        assert r.q == 100.0
+
+    def test_percentile_mode(self, rng):
+        r = RunningPercentile(90.0)
+        data = rng.uniform(size=2000)
+        r.extend(data)
+        assert r.value == pytest.approx(0.9, abs=0.05)
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError, match="0, 100"):
+            RunningPercentile(0.0)
+        with pytest.raises(ValueError, match="0, 100"):
+            RunningPercentile(101.0)
+
+    def test_reset(self):
+        r = RunningPercentile(100.0)
+        r.update(5.0)
+        r.reset()
+        assert r.count == 0

@@ -1,0 +1,87 @@
+"""Tests for repro.traces.synthesis — lognormal coarse-to-fine refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.synthesis import refine_trace, refine_trace_set, synthesize_fine_grained
+from repro.traces.trace import TraceSet, UtilizationTrace
+
+
+class TestSynthesizeFineGrained:
+    def test_expansion_length(self, rng):
+        fine = synthesize_fine_grained([1.0, 2.0], 300.0, 5.0, rng=rng)
+        assert fine.size == 120
+
+    def test_sigma_zero_is_step_function(self):
+        fine = synthesize_fine_grained([1.0, 2.0], 10.0, 5.0, sigma=0.0)
+        assert list(fine) == [1.0, 1.0, 2.0, 2.0]
+
+    def test_zero_mean_windows_stay_zero(self, rng):
+        fine = synthesize_fine_grained([0.0, 1.0], 10.0, 5.0, rng=rng)
+        assert fine[0] == 0.0 and fine[1] == 0.0
+        assert fine[2] > 0.0
+
+    def test_exact_mean_matching(self, rng):
+        fine = synthesize_fine_grained(
+            [2.0, 5.0], 300.0, 5.0, rng=rng, match_means_exactly=True
+        )
+        assert fine[:60].mean() == pytest.approx(2.0)
+        assert fine[60:].mean() == pytest.approx(5.0)
+
+    def test_statistical_mean_preservation(self, rng):
+        fine = synthesize_fine_grained([3.0] * 50, 300.0, 5.0, sigma=0.3, rng=rng)
+        assert fine.mean() == pytest.approx(3.0, rel=0.05)
+
+    def test_samples_non_negative(self, rng):
+        fine = synthesize_fine_grained([0.5, 1.5], 300.0, 5.0, sigma=1.0, rng=rng)
+        assert np.all(fine >= 0.0)
+
+    def test_non_integer_ratio_rejected(self):
+        with pytest.raises(ValueError, match="integer multiple"):
+            synthesize_fine_grained([1.0], 10.0, 3.0)
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            synthesize_fine_grained([-1.0], 10.0, 5.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError, match="sigma"):
+            synthesize_fine_grained([1.0], 10.0, 5.0, sigma=-0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            synthesize_fine_grained([], 10.0, 5.0)
+
+    def test_deterministic_with_seeded_rng(self):
+        a = synthesize_fine_grained([1.0], 10.0, 5.0, rng=np.random.default_rng(1))
+        b = synthesize_fine_grained([1.0], 10.0, 5.0, rng=np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+
+class TestRefineTrace:
+    def test_period_and_name_preserved(self, rng):
+        coarse = UtilizationTrace([1.0, 2.0], 300.0, "vm")
+        fine = refine_trace(coarse, 5.0, rng=rng)
+        assert fine.period_s == 5.0
+        assert fine.name == "vm"
+        assert fine.num_samples == 120
+
+    def test_cap_applies(self, rng):
+        coarse = UtilizationTrace([3.9] * 10, 300.0, "vm")
+        fine = refine_trace(coarse, 5.0, sigma=1.0, rng=rng, cap=4.0)
+        assert fine.peak() <= 4.0
+
+    def test_refine_set(self, rng):
+        coarse = TraceSet.from_mapping({"a": [1.0, 2.0], "b": [2.0, 1.0]}, 300.0)
+        fine = refine_trace_set(coarse, 5.0, rng=rng)
+        assert fine.num_traces == 2
+        assert fine.num_samples == 120
+        assert fine.period_s == 5.0
+
+    def test_refined_coarse_round_trip_means(self, rng):
+        coarse = TraceSet.from_mapping({"a": [1.0, 3.0, 2.0, 4.0]}, 300.0)
+        fine = refine_trace_set(coarse, 5.0, sigma=0.1, rng=rng)
+        back = fine.resampled(300.0)
+        assert np.allclose(back.matrix, coarse.matrix, rtol=0.15)

@@ -1,0 +1,113 @@
+"""Tests for repro.core.vf_control — the Eqn-4 controller and baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.correlation import CostMatrix
+from repro.core.vf_control import (
+    correlation_aware_frequency,
+    estimate_active_servers,
+    peak_sum_frequency,
+)
+from repro.infrastructure.dvfs import FrequencyLadder
+
+
+@pytest.fixture
+def ladder() -> FrequencyLadder:
+    return FrequencyLadder((2.0, 2.3))
+
+
+def flat_cost_factory(value: float):
+    def cost(a: str, b: str) -> float:
+        return value
+
+    return cost
+
+
+class TestEstimateActiveServers:
+    def test_eqn3_ceiling(self):
+        assert estimate_active_servers({"a": 4.0, "b": 4.0}, 8) == 1
+        assert estimate_active_servers({"a": 4.1, "b": 4.0}, 8) == 2
+
+    def test_at_least_one(self):
+        assert estimate_active_servers({"a": 0.0}, 8) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            estimate_active_servers({"a": 1.0}, 0)
+        with pytest.raises(ValueError, match="non-negative"):
+            estimate_active_servers({"a": -1.0}, 8)
+
+
+class TestPeakSumFrequency:
+    def test_provisioning_for_coinciding_peaks(self, ladder):
+        refs = {"a": 4.0, "b": 3.0}
+        setting = peak_sum_frequency(["a", "b"], refs, ladder, 8)
+        assert setting.target_ghz == pytest.approx(7.0 / 8.0 * 2.3)
+        assert setting.freq_ghz == 2.3
+
+    def test_light_load_selects_low_level(self, ladder):
+        setting = peak_sum_frequency(["a"], {"a": 4.0}, ladder, 8)
+        assert setting.target_ghz == pytest.approx(1.15)
+        assert setting.freq_ghz == 2.0
+
+    def test_empty_server_rests_at_fmin(self, ladder):
+        setting = peak_sum_frequency([], {}, ladder, 8)
+        assert setting.freq_ghz == 2.0
+
+    def test_negative_reference_rejected(self, ladder):
+        with pytest.raises(ValueError, match="negative"):
+            peak_sum_frequency(["a"], {"a": -1.0}, ladder, 8)
+
+
+class TestCorrelationAwareFrequency:
+    def test_discount_by_server_cost(self, ladder):
+        refs = {"a": 4.0, "b": 3.8}
+        # Peak-sum target = 7.8/8*2.3 = 2.2425 -> 2.3 GHz without discount.
+        undiscounted = peak_sum_frequency(["a", "b"], refs, ladder, 8)
+        assert undiscounted.freq_ghz == 2.3
+        # With cost 1.4 the Eqn-4 target is 1.60 -> 2.0 GHz.
+        setting = correlation_aware_frequency(
+            ["a", "b"], refs, flat_cost_factory(1.4), ladder, 8
+        )
+        assert setting.target_ghz == pytest.approx(2.2425 / 1.4)
+        assert setting.freq_ghz == 2.0
+
+    def test_fully_correlated_equals_peak_sum(self, ladder):
+        refs = {"a": 4.0, "b": 3.8}
+        aware = correlation_aware_frequency(
+            ["a", "b"], refs, flat_cost_factory(1.0), ladder, 8
+        )
+        plain = peak_sum_frequency(["a", "b"], refs, ladder, 8)
+        assert aware.freq_ghz == plain.freq_ghz
+        assert aware.target_ghz == pytest.approx(plain.target_ghz)
+
+    def test_single_vm_has_no_discount(self, ladder):
+        refs = {"a": 7.5}
+        setting = correlation_aware_frequency(
+            ["a"], refs, flat_cost_factory(2.0), ladder, 8
+        )
+        # Singleton server cost is 1.0 regardless of the pairwise table.
+        assert setting.target_ghz == pytest.approx(7.5 / 8.0 * 2.3)
+        assert setting.freq_ghz == 2.3
+
+    def test_empty_server_rests_at_fmin(self, ladder):
+        setting = correlation_aware_frequency([], {}, flat_cost_factory(1.5), ladder, 8)
+        assert setting.freq_ghz == 2.0
+
+    def test_real_matrix_end_to_end(self, four_vm_traces, ladder):
+        matrix = CostMatrix.from_traces(four_vm_traces)
+        refs = matrix.references()
+        mixed = correlation_aware_frequency(
+            ["a1", "b1"], refs, matrix.cost, ladder, 8
+        )
+        same = correlation_aware_frequency(
+            ["a1", "a2"], refs, matrix.cost, ladder, 8
+        )
+        # The anti-correlated pair affords a lower frequency target.
+        assert mixed.target_ghz < same.target_ghz
+
+    def test_bad_core_count(self, ladder):
+        with pytest.raises(ValueError, match="positive"):
+            correlation_aware_frequency(["a"], {"a": 1.0}, flat_cost_factory(1.0), ladder, 0)
