@@ -39,13 +39,42 @@ def test_streaming_cost_update(benchmark, window):
     assert streaming.count >= 1
 
 
+def test_streaming_percentile_update(benchmark, window):
+    """Per-sample cost in percentile mode (BatchPSquare over all pairs)."""
+    from repro.traces.trace import ReferenceSpec
+
+    streaming = StreamingCostMatrix(window.names, ReferenceSpec(90.0))
+    vector = window.matrix[:, 0]
+    for column in window.matrix.T[:6]:  # past the P-square warm-up buffer
+        streaming.update(column)
+    benchmark(streaming.update, vector)
+    assert streaming.count >= 7
+
+
 def test_correlation_aware_allocation(benchmark, window):
-    """Full ALLOCATE phase for 40 VMs on 8-core servers."""
+    """Full ALLOCATE phase for 40 VMs on 8-core servers (string path)."""
     matrix = CostMatrix.from_traces(window)
     refs = matrix.references()
     allocator = CorrelationAwareAllocator()
     placement = benchmark(
         allocator.allocate, list(window.names), refs, matrix.cost, 8
+    )
+    assert placement.num_vms == 40
+
+
+def test_correlation_aware_allocation_fast_path(benchmark, window):
+    """Same ALLOCATE instance through the indexed incremental fast path."""
+    matrix = CostMatrix.from_traces(window)
+    refs = matrix.references()
+    allocator = CorrelationAwareAllocator()
+    placement = benchmark(
+        allocator.allocate,
+        list(window.names),
+        refs,
+        None,
+        8,
+        cost_array=matrix.as_array(),
+        name_index=matrix.name_index,
     )
     assert placement.num_vms == 40
 

@@ -1,0 +1,129 @@
+"""Fleet-size scaling of the vectorized kernels (build / update / allocate).
+
+The paper's efficiency argument (Section IV-A) is that the Eqn-1 cost is
+cheap enough to update "at each sampling period"; the ROADMAP demands
+that hold at production fleet sizes, not the paper's 40 VMs.  This bench
+times the three hot paths at N ∈ {40, 200, 1000}:
+
+* ``build``   — exact :meth:`CostMatrix.from_traces` over a full window;
+* ``update``  — one :meth:`StreamingCostMatrix.update` (the per-sample
+  online cost, peak mode);
+* ``allocate`` — the full ALLOCATE phase through the indexed fast path.
+
+Results are persisted to ``BENCH_scaling.json`` (via the ``bench_json``
+fixture) so the numbers travel with the PR, and two hard gates encode
+the acceptance bar: the 1000-VM streaming update stays under 50 ms per
+sample, and peak-mode streaming stays bit-exact against the exact
+matrix at every size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import CorrelationAwareAllocator
+from repro.core.correlation import CostMatrix, StreamingCostMatrix
+from repro.traces.trace import TraceSet, UtilizationTrace
+
+SIZES = (40, 200, 1000)
+WINDOW_SAMPLES = 720
+UPDATE_BUDGET_MS_AT_1000 = 50.0
+
+
+def _fleet(n: int) -> TraceSet:
+    rng = np.random.default_rng(n)
+    return TraceSet(
+        UtilizationTrace(rng.uniform(0.0, 4.0, size=WINDOW_SAMPLES), 5.0, f"vm{i:04d}")
+        for i in range(n)
+    )
+
+
+def _time_ms(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def test_scaling_suite(report, bench_json):
+    results: dict[str, dict[str, float]] = {}
+    for n in SIZES:
+        fleet = _fleet(n)
+        repeats = 3 if n >= 1000 else 5
+
+        build_ms = _time_ms(lambda: CostMatrix.from_traces(fleet), repeats)
+        matrix = CostMatrix.from_traces(fleet)
+
+        streaming = StreamingCostMatrix(fleet.names)
+        vector = fleet.matrix[:, 0]
+        streaming.update(vector)  # warm the arrays
+        update_ms = _time_ms(lambda: streaming.update(vector), max(repeats, 10))
+
+        refs = matrix.references()
+        allocator = CorrelationAwareAllocator()
+        allocate_ms = _time_ms(
+            lambda: allocator.allocate(
+                list(fleet.names),
+                refs,
+                None,
+                8,
+                cost_array=matrix.as_array(),
+                name_index=matrix.name_index,
+            ),
+            repeats,
+        )
+
+        # Bit-exactness gate: fold the whole window and compare against
+        # the exact matrix (a running maximum is lossless).
+        streaming.reset()
+        for column in fleet.matrix.T:
+            streaming.update(column)
+        assert np.array_equal(streaming.as_array(), matrix.as_array()), (
+            f"peak-mode streaming diverged from the exact matrix at N={n}"
+        )
+
+        results[str(n)] = {
+            "build_ms": round(build_ms, 3),
+            "update_ms": round(update_ms, 3),
+            "allocate_ms": round(allocate_ms, 3),
+        }
+
+    assert results["1000"]["update_ms"] < UPDATE_BUDGET_MS_AT_1000, (
+        f"1000-VM streaming update took {results['1000']['update_ms']} ms, "
+        f"budget is {UPDATE_BUDGET_MS_AT_1000} ms"
+    )
+
+    payload = {
+        "window_samples": WINDOW_SAMPLES,
+        "n_cores": 8,
+        "sizes": results,
+    }
+    path = bench_json("scaling", payload)
+    lines = [f"{'N':>6} {'build ms':>10} {'update ms':>10} {'allocate ms':>12}"]
+    for n in SIZES:
+        row = results[str(n)]
+        lines.append(
+            f"{n:>6} {row['build_ms']:>10.3f} {row['update_ms']:>10.3f} "
+            f"{row['allocate_ms']:>12.3f}"
+        )
+    lines.append(f"persisted to {path}")
+    report("\n".join(lines))
+
+
+def test_percentile_streaming_scales(report):
+    """Percentile mode (BatchPSquare over all pairs) stays online at N=200."""
+    from repro.traces.trace import ReferenceSpec
+
+    fleet = _fleet(200)
+    streaming = StreamingCostMatrix(fleet.names, ReferenceSpec(90.0))
+    vector = fleet.matrix[:, 0]
+    for column in fleet.matrix.T[:6]:  # past the P-square warm-up buffer
+        streaming.update(column)
+    update_ms = _time_ms(lambda: streaming.update(vector), 10)
+    report(f"N=200 percentile-mode streaming update: {update_ms:.3f} ms")
+    assert update_ms < UPDATE_BUDGET_MS_AT_1000

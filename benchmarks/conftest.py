@@ -4,11 +4,23 @@ Every benchmark regenerates one of the paper's tables or figures at full
 scale, prints the same rows/series the paper reports (run with ``-s`` to
 see them), and asserts the qualitative claims — making the suite a
 regression harness for the reproduction, not just a stopwatch.
+
+Benchmarks that measure *performance* (e.g. ``bench_scaling.py``) can
+persist their numbers for trajectory tracking with the :func:`bench_json`
+fixture, which writes ``BENCH_<name>.json`` files into the directory
+given by ``--bench-json-dir`` (repository root by default, so the files
+land next to this suite and diff cleanly across PRs).
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
+
+# --bench-json-dir itself is registered by the repo-root conftest.py so
+# it is recognised regardless of the paths on the command line.
 
 
 @pytest.fixture
@@ -21,3 +33,22 @@ def report(request):
         print(text)
 
     return _print
+
+
+@pytest.fixture
+def bench_json(request):
+    """Persist a benchmark's result payload as ``BENCH_<name>.json``.
+
+    Returns a callable ``record(name, payload) -> Path``; the payload
+    must be JSON-serialisable.  Used for trajectory tracking: each PR's
+    numbers are committed, so regressions show up in the diff.
+    """
+    directory = Path(request.config.getoption("--bench-json-dir"))
+
+    def _record(name: str, payload: dict) -> Path:
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return _record

@@ -18,6 +18,13 @@ To honour that claim the library ships both:
 The streaming percentile estimator is the classic P-square algorithm of
 Jain & Chlamtac (CACM 1985), which tracks five markers and adjusts them
 with piecewise-parabolic interpolation; it needs no sample buffer.
+
+:class:`BatchPSquare` runs many P-square estimators in lockstep over flat
+``(n_streams, 5)`` marker arrays, folding one value per stream per update
+with masked array operations.  It is the kernel behind the vectorized
+streaming cost matrix (one stream per unordered VM pair); the scalar
+:class:`PSquarePercentile` remains the reference implementation the
+property tests compare it against.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ __all__ = [
     "RunningMeanVar",
     "PSquarePercentile",
     "RunningPercentile",
+    "BatchPSquare",
 ]
 
 
@@ -333,6 +341,143 @@ class PSquarePercentile:
         self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
         self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
         self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self._count = 0
+
+
+class BatchPSquare:
+    """``n_streams`` P-square estimators advanced in lockstep.
+
+    Functionally equivalent to a list of :class:`PSquarePercentile`, but
+    the five marker heights, positions and desired positions live in
+    ``(n_streams, 5)`` float arrays and one :meth:`update` call folds a
+    value into *every* stream with masked array operations.  This is what
+    makes a percentile-mode streaming cost matrix over ``N(N-1)/2`` VM
+    pairs affordable: one vectorized pass per sample instead of one
+    Python call per pair.
+
+    All streams must advance together (every update supplies one value
+    per stream), which is exactly the cost-matrix access pattern — each
+    monitoring sample yields one joint utilization per pair.
+    """
+
+    __slots__ = ("_q", "_n", "_initial", "_heights", "_positions", "_desired", "_increments", "_count")
+
+    def __init__(self, q: float, n_streams: int) -> None:
+        if not 0.0 < q < 100.0:
+            raise ValueError(
+                f"P-square tracks strictly interior percentiles, got {q}; "
+                "use a running maximum for the peak"
+            )
+        if n_streams < 1:
+            raise ValueError("need at least one stream")
+        self._q = q
+        self._n = n_streams
+        p = q / 100.0
+        self._initial = np.empty((n_streams, 5), dtype=float)
+        self._heights = np.empty((n_streams, 5), dtype=float)
+        self._positions = np.empty((n_streams, 5), dtype=float)
+        self._desired = np.tile(
+            np.array([1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]),
+            (n_streams, 1),
+        )
+        self._increments = np.array([0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0])
+        self._count = 0
+
+    @property
+    def q(self) -> float:
+        """Percentile being tracked, in percent."""
+        return self._q
+
+    @property
+    def n_streams(self) -> int:
+        """Number of parallel estimators."""
+        return self._n
+
+    @property
+    def count(self) -> int:
+        """Number of samples folded into every stream so far."""
+        return self._count
+
+    def update(self, values: Sequence[float] | np.ndarray) -> None:
+        """Fold one value per stream into the estimates."""
+        data = np.asarray(values, dtype=float)
+        if data.shape != (self._n,):
+            raise ValueError(f"expected {self._n} values, got shape {data.shape}")
+        if self._count < 5:
+            self._initial[:, self._count] = data
+            self._count += 1
+            if self._count == 5:
+                self._heights = np.sort(self._initial, axis=1)
+                self._positions = np.tile(np.arange(1.0, 6.0), (self._n, 1))
+            return
+        self._absorb(data)
+        self._count += 1
+
+    def _absorb(self, values: np.ndarray) -> None:
+        heights = self._heights
+        positions = self._positions
+        low = values < heights[:, 0]
+        high = values >= heights[:, 4]
+        heights[low, 0] = values[low]
+        heights[high, 4] = values[high]
+        # The scalar walk `while cell < 3 and value >= heights[cell + 1]`
+        # counts how many of the middle markers the value clears.
+        cell = (values[:, None] >= heights[:, 1:4]).sum(axis=1)
+        cell[low] = 0
+        cell[high] = 3
+        positions += np.arange(5) > cell[:, None]
+        self._desired += self._increments
+        for i in (1, 2, 3):
+            delta = self._desired[:, i] - positions[:, i]
+            step_up = positions[:, i + 1] - positions[:, i]
+            step_down = positions[:, i - 1] - positions[:, i]
+            move = ((delta >= 1.0) & (step_up > 1.0)) | ((delta <= -1.0) & (step_down < -1.0))
+            if not move.any():
+                continue
+            direction = np.where(delta >= 1.0, 1.0, -1.0)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                span = positions[:, i + 1] - positions[:, i - 1]
+                upper = (positions[:, i] - positions[:, i - 1] + direction) * (
+                    (heights[:, i + 1] - heights[:, i]) / (positions[:, i + 1] - positions[:, i])
+                )
+                lower = (positions[:, i + 1] - positions[:, i] - direction) * (
+                    (heights[:, i] - heights[:, i - 1]) / (positions[:, i] - positions[:, i - 1])
+                )
+                candidate = heights[:, i] + direction / span * (upper + lower)
+                parabolic_ok = (heights[:, i - 1] < candidate) & (candidate < heights[:, i + 1])
+                neighbour_h = np.where(direction > 0, heights[:, i + 1], heights[:, i - 1])
+                neighbour_p = np.where(direction > 0, positions[:, i + 1], positions[:, i - 1])
+                linear = heights[:, i] + direction * (neighbour_h - heights[:, i]) / (
+                    neighbour_p - positions[:, i]
+                )
+            adjusted = np.where(parabolic_ok, candidate, linear)
+            heights[move, i] = adjusted[move]
+            positions[move, i] += direction[move]
+
+    def extend(self, rows: Iterable[Sequence[float]]) -> None:
+        """Fold an iterable of per-stream value vectors in."""
+        for row in rows:
+            self.update(row)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Current per-stream percentile estimates (``(n_streams,)``)."""
+        if self._count == 0:
+            raise ValueError("BatchPSquare has seen no samples")
+        if self._count < 5:
+            return np.percentile(self._initial[:, : self._count], self._q, axis=1)
+        return self._heights[:, 2].copy()
+
+    def reset(self) -> None:
+        """Forget all observed samples in every stream."""
+        p = self._q / 100.0
+        self._initial = np.empty((self._n, 5), dtype=float)
+        self._heights = np.empty((self._n, 5), dtype=float)
+        self._positions = np.empty((self._n, 5), dtype=float)
+        self._desired = np.tile(
+            np.array([1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]),
+            (self._n, 1),
+        )
         self._count = 0
 
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.core.allocation import CapacityError
 from repro.core.placement import Placement
 
@@ -46,28 +48,37 @@ def best_fit_decreasing(
     refs = {vm: min(max(float(references[vm]), 0.0), capacity) for vm in vm_ids}
     order = sorted(vm_ids, key=lambda vm: (-refs[vm], vm))
 
-    remaining: list[float] = []
+    # The per-VM best-fit scan is a single vectorized argmin over the
+    # open servers' post-placement leftovers (infeasible servers masked
+    # to +inf; argmin takes the first minimum, matching the scalar
+    # strict-< scan).  ``remaining`` is kept with spare capacity so a
+    # new server is an O(1) append, not a reallocation.
+    remaining = np.empty(16, dtype=float)
+    num_open = 0
     assignment: dict[str, int] = {}
     for vm in order:
         demand = refs[vm]
         best_index: int | None = None
-        best_left = float("inf")
-        for index, free in enumerate(remaining):
-            left = free - demand
-            if left >= -1e-12 and left < best_left:
-                best_left = left
-                best_index = index
+        if num_open:
+            left = remaining[:num_open] - demand
+            left[left < -1e-12] = np.inf
+            candidate = int(np.argmin(left))
+            if left[candidate] != np.inf:
+                best_index = candidate
         if best_index is None:
-            if max_servers is not None and len(remaining) >= max_servers:
+            if max_servers is not None and num_open >= max_servers:
                 raise CapacityError(
                     f"cannot place {vm} within {max_servers} servers of capacity {capacity}"
                 )
-            remaining.append(capacity)
-            best_index = len(remaining) - 1
+            if num_open == remaining.size:
+                remaining = np.concatenate([remaining, np.empty(remaining.size)])
+            remaining[num_open] = capacity
+            best_index = num_open
+            num_open += 1
         remaining[best_index] -= demand
         assignment[vm] = best_index
 
-    num_servers = max_servers if max_servers is not None else len(remaining)
+    num_servers = max_servers if max_servers is not None else num_open
     placement = Placement(assignment, num_servers=num_servers)
     placement.validate_capacity(refs, capacity)
     return placement

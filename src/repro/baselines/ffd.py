@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.core.allocation import CapacityError
 from repro.core.placement import Placement
 
@@ -39,26 +41,35 @@ def first_fit_decreasing(
     refs = {vm: min(max(float(references[vm]), 0.0), capacity) for vm in vm_ids}
     order = sorted(vm_ids, key=lambda vm: (-refs[vm], vm))
 
-    remaining: list[float] = []
+    # The first-fit scan is a vectorized "first feasible server" lookup:
+    # argmax on the feasibility mask returns the lowest-index True.
+    # ``remaining`` is kept with spare capacity so a new server is an
+    # O(1) append, not a reallocation.
+    remaining = np.empty(16, dtype=float)
+    num_open = 0
     assignment: dict[str, int] = {}
     for vm in order:
         demand = refs[vm]
         target: int | None = None
-        for index, free in enumerate(remaining):
-            if demand <= free + 1e-12:
-                target = index
-                break
+        if num_open:
+            feasible = demand <= remaining[:num_open] + 1e-12
+            first = int(np.argmax(feasible))
+            if feasible[first]:
+                target = first
         if target is None:
-            if max_servers is not None and len(remaining) >= max_servers:
+            if max_servers is not None and num_open >= max_servers:
                 raise CapacityError(
                     f"cannot place {vm} within {max_servers} servers of capacity {capacity}"
                 )
-            remaining.append(capacity)
-            target = len(remaining) - 1
+            if num_open == remaining.size:
+                remaining = np.concatenate([remaining, np.empty(remaining.size)])
+            remaining[num_open] = capacity
+            target = num_open
+            num_open += 1
         remaining[target] -= demand
         assignment[vm] = target
 
-    num_servers = max_servers if max_servers is not None else len(remaining)
+    num_servers = max_servers if max_servers is not None else num_open
     placement = Placement(assignment, num_servers=num_servers)
     placement.validate_capacity(refs, capacity)
     return placement

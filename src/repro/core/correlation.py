@@ -24,19 +24,24 @@ Pearson's coefficient.
 Two implementations are provided.  :class:`CostMatrix` computes the
 matrix exactly from a window of samples (what an offline study or test
 wants).  :class:`StreamingCostMatrix` maintains the same quantities with
-O(1) work per pair per sample and no sample buffer, which is the paper's
+O(N^2) *array* work per sample and no sample buffer, which is the paper's
 stated advantage over Pearson's correlation ("we can update the values at
 each sampling period ... save memory space as well as evenly distributing
-computational effort").
+computational effort").  Both are backed by flat NumPy state — per-sample
+cost is a handful of vectorized kernels, not N^2 Python calls — so fleets
+of a thousand VMs stay in online-update territory.  The scalar estimators
+in :mod:`repro.analysis.stats` remain the reference implementations the
+property tests compare these kernels against.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from types import MappingProxyType
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.analysis.stats import RunningPercentile, pearson
+from repro.analysis.stats import BatchPSquare
 from repro.traces.trace import ReferenceSpec, TraceSet
 
 __all__ = ["CostMatrix", "StreamingCostMatrix", "pearson_cost_matrix"]
@@ -47,6 +52,10 @@ __all__ = ["CostMatrix", "StreamingCostMatrix", "pearson_cost_matrix"]
 #: v/f controller does not scale below their (zero) demand.
 NEUTRAL_COST = 1.0
 
+#: Element budget for one broadcast block of ``CostMatrix.from_traces``
+#: (rows x N x samples floats), sized to keep peak memory around 64 MB.
+_BLOCK_ELEMENTS = 8_000_000
+
 
 def _pair_cost(ref_i: float, ref_j: float, ref_joint: float) -> float:
     """Eqn 1 with the degenerate-denominator guard."""
@@ -55,15 +64,35 @@ def _pair_cost(ref_i: float, ref_j: float, ref_joint: float) -> float:
     return (ref_i + ref_j) / ref_joint
 
 
+def _cost_matrix_from_parts(singles: np.ndarray, joint: np.ndarray) -> np.ndarray:
+    """Eqn 1 applied element-wise to a joint-reference matrix.
+
+    ``singles`` is the per-VM reference vector; ``joint`` the symmetric
+    matrix of joint references.  Entries with a non-positive joint
+    reference (both VMs idle) take :data:`NEUTRAL_COST`, as does the
+    diagonal.
+    """
+    numerator = singles[:, None] + singles[None, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        matrix = np.where(joint > 0.0, numerator / joint, NEUTRAL_COST)
+    np.fill_diagonal(matrix, NEUTRAL_COST)
+    return matrix
+
+
+def _build_index(names: Sequence[str]) -> dict[str, int]:
+    return {name: i for i, name in enumerate(names)}
+
+
 class CostMatrix:
     """Exact pairwise correlation costs over a window of aligned traces.
 
     The matrix is symmetric with a unit diagonal (a VM is perfectly
     correlated with itself).  Entries are addressable by VM name or
-    positional index.
+    positional index; name lookups go through a prebuilt ``dict`` so
+    :meth:`index_of` is O(1).
     """
 
-    __slots__ = ("_names", "_references", "_matrix", "_spec")
+    __slots__ = ("_names", "_references", "_matrix", "_spec", "_index")
 
     def __init__(
         self,
@@ -76,36 +105,42 @@ class CostMatrix:
         self._references = references
         self._matrix = matrix
         self._spec = spec
+        self._index = _build_index(self._names)
 
     @classmethod
     def from_traces(cls, traces: TraceSet, spec: ReferenceSpec | None = None) -> "CostMatrix":
         """Build the exact cost matrix from a :class:`TraceSet` window.
 
-        With the default peak reference the joint references are computed
-        with a vectorized pairwise-maximum pass; percentile references fall
-        back to a per-pair percentile (still vectorized over samples).
+        Joint references are computed with a blocked broadcast over all
+        pairs (no per-pair Python loop): each block materialises a
+        ``(rows, N, samples)`` sum of trace pairs and reduces it with a
+        single ``max`` (peak references) or ``percentile`` (off-peak
+        references) pass.  Block size is chosen to bound peak memory.
         """
         spec = spec or ReferenceSpec()
         data = traces.matrix
         n = traces.num_traces
+        samples = data.shape[1]
         if spec.is_peak:
             refs = data.max(axis=1)
         else:
             refs = np.percentile(data, spec.percentile, axis=1)
-        matrix = np.full((n, n), NEUTRAL_COST, dtype=float)
-        for i in range(n):
-            if i + 1 >= n:
-                break
-            joint = data[i][None, :] + data[i + 1 :]
+        # Only the upper triangle (plus diagonal) is reduced; the matrix
+        # is symmetric, so the lower triangle is mirrored afterwards.
+        joint = np.empty((n, n), dtype=float)
+        start = 0
+        while start < n:
+            rows = max(1, _BLOCK_ELEMENTS // max(1, (n - start) * samples))
+            stop = min(start + rows, n)
+            sums = data[start:stop, None, :] + data[None, start:, :]
             if spec.is_peak:
-                joint_refs = joint.max(axis=1)
+                joint[start:stop, start:] = sums.max(axis=2)
             else:
-                joint_refs = np.percentile(joint, spec.percentile, axis=1)
-            for offset, joint_ref in enumerate(joint_refs):
-                j = i + 1 + offset
-                cost = _pair_cost(float(refs[i]), float(refs[j]), float(joint_ref))
-                matrix[i, j] = cost
-                matrix[j, i] = cost
+                joint[start:stop, start:] = np.percentile(sums, spec.percentile, axis=2)
+            start = stop
+        lower = np.tril_indices(n, k=-1)
+        joint[lower] = joint.T[lower]
+        matrix = _cost_matrix_from_parts(refs.astype(float), joint)
         matrix.flags.writeable = False
         return cls(traces.names, refs.astype(float), matrix, spec)
 
@@ -114,6 +149,12 @@ class CostMatrix:
     def names(self) -> tuple[str, ...]:
         """VM names in positional order."""
         return self._names
+
+    @property
+    def name_index(self) -> Mapping[str, int]:
+        """Read-only ``{name: positional index}`` map (the allocator's
+        fast path consumes this together with :meth:`as_array`)."""
+        return MappingProxyType(self._index)
 
     @property
     def spec(self) -> ReferenceSpec:
@@ -128,8 +169,8 @@ class CostMatrix:
     def index_of(self, name: str) -> int:
         """Positional index of a VM name."""
         try:
-            return self._names.index(name)
-        except ValueError:
+            return self._index[name]
+        except KeyError:
             raise KeyError(f"no VM named {name!r} in the cost matrix") from None
 
     def reference(self, vm: str | int) -> float:
@@ -163,17 +204,38 @@ class CostMatrix:
 class StreamingCostMatrix:
     """Online cost matrix updated one utilization vector at a time.
 
-    Maintains a :class:`~repro.analysis.stats.RunningPercentile` per VM and
-    per unordered pair.  Each :meth:`update` costs O(N^2) marker updates
-    and O(1) memory per pair — no sample buffer, which is precisely the
+    All state is flat NumPy arrays, so one :meth:`update` is O(N^2)
+    *array* element operations (a few vectorized kernels), not O(N^2)
+    Python calls — with no sample buffer, which is precisely the
     efficiency argument of Section IV-A.
 
-    For the default peak reference the streaming matrix is *exact* (a
-    running maximum is lossless); for percentile references it carries the
-    P-square approximation, whose error the property tests bound.
+    * Peak references (the default): a vector running-max over the
+      singles and an exact ``np.maximum(P, u[:, None] + u[None, :])``
+      update on the N x N joint-peak array.  The streaming matrix is then
+      *bit-exact* against :meth:`CostMatrix.from_traces` (a running
+      maximum is lossless).
+    * Percentile references: a :class:`~repro.analysis.stats.BatchPSquare`
+      estimator over the N singles and another over the N(N-1)/2 pair
+      sums, folding all pairs per sample in one masked-array pass.  The
+      P-square approximation error is bounded by the property tests
+      against the scalar reference implementation.
     """
 
-    __slots__ = ("_names", "_spec", "_singles", "_pairs", "_count")
+    __slots__ = (
+        "_names",
+        "_spec",
+        "_index",
+        "_count",
+        "_single_peak",
+        "_pair_peak",
+        "_single_est",
+        "_pair_est",
+        "_rows",
+        "_cols",
+        "_cache_count",
+        "_single_cache",
+        "_pair_cache",
+    )
 
     def __init__(self, names: Sequence[str], spec: ReferenceSpec | None = None) -> None:
         names = tuple(names)
@@ -183,19 +245,35 @@ class StreamingCostMatrix:
             raise ValueError("need at least one VM")
         self._names = names
         self._spec = spec or ReferenceSpec()
-        q = self._spec.percentile
-        self._singles = [RunningPercentile(q) for _ in names]
-        self._pairs = {
-            (i, j): RunningPercentile(q)
-            for i in range(len(names))
-            for j in range(i + 1, len(names))
-        }
+        self._index = _build_index(names)
+        n = len(names)
+        self._rows, self._cols = np.triu_indices(n, k=1)
+        if self._spec.is_peak:
+            self._single_peak = np.full(n, -np.inf)
+            self._pair_peak = np.full((n, n), -np.inf)
+            self._single_est = None
+            self._pair_est = None
+        else:
+            q = self._spec.percentile
+            self._single_peak = None
+            self._pair_peak = None
+            self._single_est = BatchPSquare(q, n)
+            self._pair_est = BatchPSquare(q, len(self._rows)) if n > 1 else None
         self._count = 0
+        self._cache_count = -1
+        self._single_cache: np.ndarray | None = None
+        self._pair_cache: np.ndarray | None = None
 
     @property
     def names(self) -> tuple[str, ...]:
         """VM names in positional order."""
         return self._names
+
+    @property
+    def name_index(self) -> Mapping[str, int]:
+        """Read-only ``{name: positional index}`` map (the allocator's
+        fast path consumes this together with :meth:`as_array`)."""
+        return MappingProxyType(self._index)
 
     @property
     def spec(self) -> ReferenceSpec:
@@ -215,8 +293,8 @@ class StreamingCostMatrix:
     def index_of(self, name: str) -> int:
         """Positional index of a VM name."""
         try:
-            return self._names.index(name)
-        except ValueError:
+            return self._index[name]
+        except KeyError:
             raise KeyError(f"no VM named {name!r} in the cost matrix") from None
 
     def update(self, utilizations: Sequence[float] | np.ndarray) -> None:
@@ -228,10 +306,15 @@ class StreamingCostMatrix:
             )
         if np.any(values < 0) or not np.all(np.isfinite(values)):
             raise ValueError("utilizations must be finite and non-negative")
-        for i, estimator in enumerate(self._singles):
-            estimator.update(float(values[i]))
-        for (i, j), estimator in self._pairs.items():
-            estimator.update(float(values[i] + values[j]))
+        if self._spec.is_peak:
+            np.maximum(self._single_peak, values, out=self._single_peak)
+            np.maximum(
+                self._pair_peak, values[:, None] + values[None, :], out=self._pair_peak
+            )
+        else:
+            self._single_est.update(values)
+            if self._pair_est is not None:
+                self._pair_est.update(values[self._rows] + values[self._cols])
         self._count += 1
 
     def extend(self, vectors: Iterable[Sequence[float]]) -> None:
@@ -239,16 +322,51 @@ class StreamingCostMatrix:
         for vector in vectors:
             self.update(vector)
 
+    def _refresh_cache(self) -> None:
+        """Re-materialise the percentile estimates at the current count.
+
+        ``BatchPSquare.values`` copies all stream estimates; caching the
+        copy per update count keeps per-pair :meth:`cost` /
+        :meth:`reference` lookups O(1) between updates instead of
+        O(N^2) per call.
+        """
+        if self._cache_count == self._count:
+            return
+        self._single_cache = self._single_est.values
+        self._pair_cache = self._pair_est.values if self._pair_est is not None else None
+        self._cache_count = self._count
+
+    def _single_values(self) -> np.ndarray:
+        if self._spec.is_peak:
+            return self._single_peak
+        self._refresh_cache()
+        return self._single_cache
+
+    def _joint_matrix(self) -> np.ndarray:
+        """The symmetric matrix of current joint-reference estimates."""
+        if self._spec.is_peak:
+            return self._pair_peak
+        n = len(self._names)
+        joint = np.zeros((n, n), dtype=float)
+        if self._pair_est is not None:
+            self._refresh_cache()
+            joint[self._rows, self._cols] = self._pair_cache
+            joint[self._cols, self._rows] = self._pair_cache
+        return joint
+
     def reference(self, vm: str | int) -> float:
         """Current streaming estimate of ``u_hat`` for one VM."""
         index = self.index_of(vm) if isinstance(vm, str) else vm
         if self._count == 0:
             raise ValueError("no samples observed yet")
-        return self._singles[index].value
+        return float(self._single_values()[index])
 
     def references(self) -> dict[str, float]:
         """All current reference estimates keyed by VM name."""
-        return {name: self.reference(i) for i, name in enumerate(self._names)}
+        if self._count == 0:
+            raise ValueError("no samples observed yet")
+        values = self._single_values()
+        return {name: float(values[i]) for i, name in enumerate(self._names)}
 
     def cost(self, a: str | int, b: str | int) -> float:
         """Current streaming estimate of ``Cost_vm(a, b)``."""
@@ -258,47 +376,66 @@ class StreamingCostMatrix:
             return NEUTRAL_COST
         if self._count == 0:
             raise ValueError("no samples observed yet")
-        key = (i, j) if i < j else (j, i)
-        return _pair_cost(
-            self._singles[i].value, self._singles[j].value, self._pairs[key].value
-        )
+        singles = self._single_values()
+        if self._spec.is_peak:
+            joint = float(self._pair_peak[i, j])
+        else:
+            lo, hi = (i, j) if i < j else (j, i)
+            n = len(self._names)
+            # Condensed upper-triangle index of the unordered pair.
+            k = lo * n - lo * (lo + 1) // 2 + (hi - lo - 1)
+            self._refresh_cache()
+            joint = float(self._pair_cache[k])
+        return _pair_cost(float(singles[i]), float(singles[j]), joint)
 
     def as_array(self) -> np.ndarray:
         """Materialise the current estimates as a symmetric array."""
         n = len(self._names)
-        matrix = np.full((n, n), NEUTRAL_COST, dtype=float)
-        for i in range(n):
-            for j in range(i + 1, n):
-                value = self.cost(i, j)
-                matrix[i, j] = value
-                matrix[j, i] = value
-        return matrix
+        if n == 1:
+            return np.full((1, 1), NEUTRAL_COST, dtype=float)
+        if self._count == 0:
+            raise ValueError("no samples observed yet")
+        return _cost_matrix_from_parts(
+            np.asarray(self._single_values(), dtype=float), self._joint_matrix()
+        )
 
     def reset(self) -> None:
         """Forget all samples (e.g. at a placement-period boundary)."""
-        for estimator in self._singles:
-            estimator.reset()
-        for estimator in self._pairs.values():
-            estimator.reset()
+        if self._spec.is_peak:
+            self._single_peak.fill(-np.inf)
+            self._pair_peak.fill(-np.inf)
+        else:
+            self._single_est.reset()
+            if self._pair_est is not None:
+                self._pair_est.reset()
         self._count = 0
+        self._cache_count = -1
+        self._single_cache = None
+        self._pair_cache = None
 
 
 def pearson_cost_matrix(traces: TraceSet) -> np.ndarray:
     """Pearson correlation matrix over a trace window.
 
-    Provided for the metric-ablation bench: plugging Pearson's coefficient
-    into the allocator requires mapping it onto the cost scale, and the
-    ablation uses ``cost = 2 - (rho + 1)/1`` ... no — it simply ranks pairs,
-    so the raw coefficient matrix is returned and the ablation adapter in
-    :mod:`repro.experiments.ablations` converts rank order to a cost-like
-    score.  Degenerate (constant) traces correlate at 0 by convention.
+    Contract with the metric-ablation adapter
+    (:func:`repro.experiments.ablations.pearson_cost_adapter`): this
+    returns the *raw* coefficient matrix (unit diagonal, ``rho`` in
+    ``[-1, 1]``); the adapter maps it onto the Eqn-1 cost scale with any
+    rank-preserving transform (low correlation = high cost), so only the
+    rank order of the entries matters.  Degenerate (constant) traces
+    correlate at 0 off-diagonal by convention, matching
+    :func:`repro.analysis.stats.pearson`.
     """
     data = traces.matrix
     n = traces.num_traces
-    matrix = np.eye(n, dtype=float)
-    for i in range(n):
-        for j in range(i + 1, n):
-            rho = pearson(data[i], data[j])
-            matrix[i, j] = rho
-            matrix[j, i] = rho
+    if n > 1 and data.shape[1] < 2:
+        raise ValueError("need at least two samples for a correlation")
+    centred = data - data.mean(axis=1, keepdims=True)
+    degenerate = (centred * centred).sum(axis=1) == 0.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        matrix = np.corrcoef(data) if n > 1 else np.ones((1, 1), dtype=float)
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+    matrix[degenerate, :] = 0.0
+    matrix[:, degenerate] = 0.0
+    np.fill_diagonal(matrix, 1.0)
     return matrix

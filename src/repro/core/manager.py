@@ -145,6 +145,8 @@ class PowerManager:
             matrix.cost,
             self._config.n_cores,
             max_servers=self._config.max_servers,
+            cost_array=matrix.as_array(),
+            name_index=matrix.name_index,
         )
         frequencies = {
             server: correlation_aware_frequency(

@@ -15,6 +15,8 @@ leaves unspecified and the design decisions our reproduction makes:
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 
 from repro.analysis.reporting import ascii_table
@@ -32,26 +34,43 @@ from repro.sim.approaches import ProposedApproach
 from repro.sim.engine import ReplayConfig, replay
 from repro.traces.trace import TraceSet
 
-__all__ = ["run", "pearson_cost_adapter"]
+__all__ = ["run", "pearson_cost_adapter", "pearson_dense_costs"]
 
 
-def pearson_cost_adapter(window: TraceSet):
-    """A cost function derived from Pearson's correlation.
+def pearson_dense_costs(window: TraceSet) -> np.ndarray:
+    """Dense Pearson-derived cost matrix on the Eqn-1 scale.
 
-    Maps the coefficient ``rho`` in [-1, 1] onto the Eqn-1 cost scale
-    [1, 2] with ``cost = 1.5 - rho / 2`` — rank-preserving (low
-    correlation = high cost) so the allocator's comparisons behave the
-    same way they do with the native metric.  Used by the metric
-    ablation; Section IV-A's argument is about computation/memory cost
-    and peak-sensitivity, and this adapter lets us measure the latter.
+    Maps the coefficient ``rho`` in [-1, 1] onto the cost scale [1, 2]
+    with ``cost = 1.5 - rho / 2`` — rank-preserving (low correlation =
+    high cost), the only property the allocator's comparisons rely on.
     """
-    matrix = pearson_cost_matrix(window)
-    names = list(window.names)
-    index = {name: i for i, name in enumerate(names)}
+    return 1.5 - pearson_cost_matrix(window) / 2.0
+
+
+def pearson_cost_adapter(
+    window: TraceSet,
+    dense: np.ndarray | None = None,
+    name_index: Mapping[str, int] | None = None,
+):
+    """A scalar cost function derived from Pearson's correlation.
+
+    Same mapping as :func:`pearson_dense_costs`, exposed as a
+    string-keyed ``cost_fn`` for the Eqn-4 frequency controller (the
+    allocator itself takes the dense matrix through its fast path).
+    Pass a precomputed ``dense`` matrix and/or ``name_index`` to avoid
+    recomputing them.  Section IV-A's argument is about
+    computation/memory cost and peak-sensitivity, and this adapter lets
+    us measure the latter.
+    """
+    matrix = pearson_dense_costs(window) if dense is None else dense
+    index = (
+        {name: i for i, name in enumerate(window.names)}
+        if name_index is None
+        else name_index
+    )
 
     def cost(a: str, b: str) -> float:
-        rho = matrix[index[a], index[b]]
-        return 1.5 - rho / 2.0
+        return float(matrix[index[a], index[b]])
 
     return cost
 
@@ -68,9 +87,17 @@ class PearsonProposedApproach(ProposedApproach):
         from repro.sim.approaches import ApproachDecision
 
         predicted = self._refs.observe_and_predict(window)
-        cost_fn = pearson_cost_adapter(window)
+        dense = pearson_dense_costs(window)
+        name_index = {name: i for i, name in enumerate(window.names)}
+        cost_fn = pearson_cost_adapter(window, dense, name_index)
         placement = self._allocator.allocate(
-            list(window.names), predicted, cost_fn, self._n_cores, self._max_servers
+            list(window.names),
+            predicted,
+            cost_fn,
+            self._n_cores,
+            self._max_servers,
+            cost_array=dense,
+            name_index=name_index,
         )
         frequencies = {
             server: correlation_aware_frequency(

@@ -174,7 +174,13 @@ class ProposedApproach:
         horizon = self._horizon(window)
         matrix = CostMatrix.from_traces(horizon, self._reference)
         placement = self._allocator.allocate(
-            list(window.names), predicted, matrix.cost, self._n_cores, self._max_servers
+            list(window.names),
+            predicted,
+            matrix.cost,
+            self._n_cores,
+            self._max_servers,
+            cost_array=matrix.as_array(),
+            name_index=matrix.name_index,
         )
         frequencies = {
             server: correlation_aware_frequency(

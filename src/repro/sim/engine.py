@@ -154,13 +154,28 @@ def replay(
         start = period * samples_per_period
         stop = start + samples_per_period
         by_server = placement.by_server()
+        # Per-server demand in one pass: gather every VM's samples once,
+        # grouped by server, and reduce each group with np.add.reduceat —
+        # a single buffered reduction for the whole fleet instead of a
+        # per-server Python row gather.
+        server_demand = np.zeros((num_servers, samples_per_period), dtype=float)
+        vm_rows = np.array([name_to_row[vm] for vm in placement.vm_ids], dtype=np.intp)
+        server_rows = np.array(
+            [placement.server_of(vm) for vm in placement.vm_ids], dtype=np.intp
+        )
+        if vm_rows.size:
+            grouping = np.argsort(server_rows, kind="stable")
+            sorted_servers = server_rows[grouping]
+            group_starts = np.flatnonzero(np.r_[True, np.diff(sorted_servers) > 0])
+            server_demand[sorted_servers[group_starts]] = np.add.reduceat(
+                matrix[vm_rows[grouping], start:stop], group_starts, axis=0
+            )
         for server_index in range(num_servers):
             members = by_server.get(server_index, ())
             if not members:
                 residency.record(server_index, ladder.fmax_ghz, samples_per_period, active=False)
                 continue
-            rows = [name_to_row[vm] for vm in members]
-            demand = matrix[rows, start:stop].sum(axis=0)
+            demand = server_demand[server_index]
             setting = decision.frequencies.get(server_index)
             static_freq = setting.freq_ghz if setting is not None else ladder.fmax_ghz
             freqs = _period_frequencies(demand, static_freq, spec, config, policy)
