@@ -6,10 +6,11 @@ see them), and asserts the qualitative claims — making the suite a
 regression harness for the reproduction, not just a stopwatch.
 
 Benchmarks that measure *performance* (e.g. ``bench_scaling.py``) can
-persist their numbers for trajectory tracking with the :func:`bench_json`
-fixture, which writes ``BENCH_<name>.json`` files into the directory
-given by ``--bench-json-dir`` (repository root by default, so the files
-land next to this suite and diff cleanly across PRs).
+persist their numbers for trajectory tracking with the
+:func:`bench_json_merge` fixture, which maintains ``BENCH_<name>.json``
+files in the directory given by ``--bench-json-dir`` (repository root by
+default, so the files land next to this suite and diff cleanly across
+PRs).
 """
 
 from __future__ import annotations
@@ -36,19 +37,32 @@ def report(request):
 
 
 @pytest.fixture
-def bench_json(request):
-    """Persist a benchmark's result payload as ``BENCH_<name>.json``.
+def bench_json_merge(request):
+    """Merge one top-level key into ``BENCH_<name>.json``.
 
-    Returns a callable ``record(name, payload) -> Path``; the payload
-    must be JSON-serialisable.  Used for trajectory tracking: each PR's
-    numbers are committed, so regressions show up in the diff.
+    Returns ``merge(name, key, payload) -> Path``; the payload must be
+    JSON-serialisable.  Several benchmarks can contribute sections to
+    one trajectory file (e.g. the scaling suite's kernel table and the
+    replay gate both land in ``BENCH_scaling.json``): the file is
+    created when absent and other keys are preserved.  Each PR's numbers
+    are committed, so regressions show up in the diff.  Caveat of the
+    preserve-other-keys semantics: when a section is renamed or retired,
+    delete its stale key from the committed JSON in the same PR — the
+    merge cannot know a leftover key is dead.
     """
     directory = Path(request.config.getoption("--bench-json-dir"))
 
-    def _record(name: str, payload: dict) -> Path:
+    def _merge(name: str, key: str, payload: dict) -> Path:
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / f"BENCH_{name}.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        try:
+            existing = json.loads(path.read_text()) if path.exists() else {}
+        except (OSError, json.JSONDecodeError):
+            # A truncated/corrupt trajectory file must not wedge the
+            # suite — start it over, like the old overwrite semantics.
+            existing = {}
+        existing[key] = payload
+        path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
         return path
 
-    return _record
+    return _merge

@@ -119,13 +119,22 @@ def cluster_by_envelope(
     ordering within a cluster follows the window's positional order.
     """
     config = config or PcpConfig()
-    envelopes = [window[i].envelope(config.offpeak_percentile) for i in range(window.num_traces)]
     n = window.num_traces
+    # Batched envelope construction and overlap: one percentile reduction
+    # for every VM's threshold, one boolean comparison for the envelope
+    # matrix, and one integer Gram matrix for all pairwise joint-peak
+    # counts — identical, pair for pair, to looping envelope_overlap.
+    matrix = window.matrix
+    thresholds = np.percentile(matrix, config.offpeak_percentile, axis=1)
+    envelopes = (matrix > thresholds[:, None]).astype(np.int64)
+    ones = envelopes.sum(axis=1)
+    joint = envelopes @ envelopes.T
+    smaller = np.minimum(ones[:, None], ones[None, :])
+    overlap = np.where(smaller > 0, joint / np.maximum(smaller, 1), 0.0)
+    adjacent = overlap >= config.overlap_threshold
     uf = _UnionFind(n)
-    for i in range(n):
-        for j in range(i + 1, n):
-            if envelope_overlap(envelopes[i], envelopes[j]) >= config.overlap_threshold:
-                uf.union(i, j)
+    for i, j in zip(*np.nonzero(np.triu(adjacent, k=1))):
+        uf.union(int(i), int(j))
     groups: dict[int, list[str]] = {}
     for i, name in enumerate(window.names):
         groups.setdefault(uf.find(i), []).append(name)

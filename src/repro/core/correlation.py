@@ -118,6 +118,24 @@ class CostMatrix:
         references) pass.  Block size is chosen to bound peak memory.
         """
         spec = spec or ReferenceSpec()
+        refs, joint = cls.reference_parts(traces, spec)
+        return cls.from_parts(traces.names, refs, joint, spec)
+
+    @classmethod
+    def reference_parts(
+        cls, traces: TraceSet, spec: ReferenceSpec | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The per-VM reference vector and joint-reference matrix.
+
+        These are the Eqn-1 inputs *before* the cost division.  Exposed
+        separately because peak references decompose over window
+        concatenation — ``max`` over ``W1 || W2`` is the element-wise
+        ``max`` of the per-window reductions, exactly — which lets a
+        rolling-horizon caller fold cached per-window parts instead of
+        re-reducing the whole horizon every period (see
+        :meth:`repro.sim.approaches.ProposedApproach.decide`).
+        """
+        spec = spec or ReferenceSpec()
         data = traces.matrix
         n = traces.num_traces
         samples = data.shape[1]
@@ -140,9 +158,22 @@ class CostMatrix:
             start = stop
         lower = np.tril_indices(n, k=-1)
         joint[lower] = joint.T[lower]
-        matrix = _cost_matrix_from_parts(refs.astype(float), joint)
+        return refs.astype(float), joint
+
+    @classmethod
+    def from_parts(
+        cls,
+        names: Sequence[str],
+        references: np.ndarray,
+        joint: np.ndarray,
+        spec: ReferenceSpec | None = None,
+    ) -> "CostMatrix":
+        """Assemble a matrix from precomputed :meth:`reference_parts`."""
+        spec = spec or ReferenceSpec()
+        refs = np.asarray(references, dtype=float)
+        matrix = _cost_matrix_from_parts(refs, joint)
         matrix.flags.writeable = False
-        return cls(traces.names, refs.astype(float), matrix, spec)
+        return cls(tuple(names), refs, matrix, spec)
 
     # ------------------------------------------------------------------
     @property

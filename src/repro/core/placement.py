@@ -43,6 +43,18 @@ class Placement:
                 )
         object.__setattr__(self, "assignment", frozen)
 
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle support: a mappingproxy cannot be pickled directly.
+
+        The scenario-sweep runner ships placements across process
+        boundaries inside :class:`~repro.sim.results.ReplayResult`.
+        """
+        return {"assignment": dict(self.assignment), "num_servers": self.num_servers}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        object.__setattr__(self, "assignment", MappingProxyType(dict(state["assignment"])))
+        object.__setattr__(self, "num_servers", state["num_servers"])
+
     @property
     def vm_ids(self) -> tuple[str, ...]:
         """All placed VM ids."""

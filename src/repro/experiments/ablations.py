@@ -15,6 +15,7 @@ leaves unspecified and the design decisions our reproduction makes:
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Mapping
 
 import numpy as np
@@ -31,7 +32,8 @@ from repro.prediction.predictors import (
     MovingAveragePredictor,
 )
 from repro.sim.approaches import ProposedApproach
-from repro.sim.engine import ReplayConfig, replay
+from repro.sim.engine import ReplayConfig
+from repro.sim.runner import Scenario, run_scenarios
 from repro.traces.trace import TraceSet
 
 __all__ = ["run", "pearson_cost_adapter", "pearson_dense_costs"]
@@ -108,61 +110,52 @@ class PearsonProposedApproach(ProposedApproach):
         return ApproachDecision(placement, frequencies, predicted)
 
 
-def _replay_proposed(
+def _proposed_scenario(
     fine: TraceSet,
     config: Setup2Config,
+    scenario_name: str,
     allocation: AllocationConfig | None = None,
     predictor=None,
     approach_cls=ProposedApproach,
     name: str | None = None,
-):
-    approach = approach_cls(
-        config.spec.n_cores,
-        config.spec.freq_levels_ghz,
-        max_servers=config.num_servers,
-        allocation=allocation or config.allocation,
-        predictor=predictor,
-        default_reference=config.traces.vm_core_cap,
-    )
-    if name:
-        approach.name = name
-    return replay(
-        fine,
-        config.spec,
-        config.num_servers,
-        approach,
-        ReplayConfig(tperiod_s=config.tperiod_s),
+) -> Scenario:
+    return Scenario(
+        name=scenario_name,
+        approach_factory=partial(
+            approach_cls,
+            config.spec.n_cores,
+            config.spec.freq_levels_ghz,
+            max_servers=config.num_servers,
+            allocation=allocation or config.allocation,
+            predictor=predictor,
+            default_reference=config.traces.vm_core_cap,
+        ),
+        spec=config.spec,
+        num_servers=config.num_servers,
+        replay=ReplayConfig(tperiod_s=config.tperiod_s),
+        traces=fine,
+        trace_builder=partial(build_fine_traces, config),
+        approach_name=name,
+        seed=config.traces.seed,
     )
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    """Run all four ablations on one shared trace population."""
+#: The swept knob values.
+TH_VALUES = (1.0, 1.05, 1.10, 1.20, 1.40)
+ALPHA_VALUES = (0.5, 0.7, 0.9, 0.99)
+
+
+def run(fast: bool = False, workers: int | None = None) -> ExperimentResult:
+    """Run all four ablations on one shared trace population.
+
+    Every swept setting is an independent scenario; the whole study is
+    one batch that ``workers`` can fan over a process pool.
+    """
     config = Setup2Config()
     if fast:
         config = config.fast_variant()
     fine = build_fine_traces(config)
 
-    # --- TH_cost sweep --------------------------------------------------
-    th_rows = []
-    th_data = {}
-    for th in (1.0, 1.05, 1.10, 1.20, 1.40):
-        result = _replay_proposed(
-            fine, config, allocation=AllocationConfig(th_cost=th), name=f"TH={th}"
-        )
-        th_rows.append((f"{th:.2f}", result.avg_power_w, result.max_violation_pct))
-        th_data[th] = result
-
-    # --- alpha sweep ------------------------------------------------------
-    alpha_rows = []
-    alpha_data = {}
-    for alpha in (0.5, 0.7, 0.9, 0.99):
-        result = _replay_proposed(
-            fine, config, allocation=AllocationConfig(alpha=alpha), name=f"alpha={alpha}"
-        )
-        alpha_rows.append((f"{alpha:.2f}", result.avg_power_w, result.max_violation_pct))
-        alpha_data[alpha] = result
-
-    # --- predictor ablation ----------------------------------------------
     default = config.traces.vm_core_cap
     predictors = {
         "last-value": LastValuePredictor(default),
@@ -170,16 +163,72 @@ def run(fast: bool = False) -> ExperimentResult:
         "ewma(0.5)": EwmaPredictor(0.5, default),
         "max-over-history(3)": MaxOverHistoryPredictor(3, default),
     }
+
+    scenarios = (
+        [
+            _proposed_scenario(
+                fine,
+                config,
+                scenario_name=f"th:{th}",
+                allocation=AllocationConfig(th_cost=th),
+                name=f"TH={th}",
+            )
+            for th in TH_VALUES
+        ]
+        + [
+            _proposed_scenario(
+                fine,
+                config,
+                scenario_name=f"alpha:{alpha}",
+                allocation=AllocationConfig(alpha=alpha),
+                name=f"alpha={alpha}",
+            )
+            for alpha in ALPHA_VALUES
+        ]
+        + [
+            _proposed_scenario(fine, config, scenario_name=f"predictor:{label}",
+                               predictor=predictor, name=label)
+            for label, predictor in predictors.items()
+        ]
+        + [
+            _proposed_scenario(fine, config, scenario_name="metric:eqn1"),
+            _proposed_scenario(
+                fine, config, scenario_name="metric:pearson",
+                approach_cls=PearsonProposedApproach,
+            ),
+        ]
+    )
+    swept = dict(
+        zip([s.name for s in scenarios], run_scenarios(scenarios, workers=workers))
+    )
+
+    # --- TH_cost sweep --------------------------------------------------
+    th_rows = []
+    th_data = {}
+    for th in TH_VALUES:
+        result = swept[f"th:{th}"]
+        th_rows.append((f"{th:.2f}", result.avg_power_w, result.max_violation_pct))
+        th_data[th] = result
+
+    # --- alpha sweep ------------------------------------------------------
+    alpha_rows = []
+    alpha_data = {}
+    for alpha in ALPHA_VALUES:
+        result = swept[f"alpha:{alpha}"]
+        alpha_rows.append((f"{alpha:.2f}", result.avg_power_w, result.max_violation_pct))
+        alpha_data[alpha] = result
+
+    # --- predictor ablation ----------------------------------------------
     predictor_rows = []
     predictor_data = {}
-    for label, predictor in predictors.items():
-        result = _replay_proposed(fine, config, predictor=predictor, name=label)
+    for label in predictors:
+        result = swept[f"predictor:{label}"]
         predictor_rows.append((label, result.avg_power_w, result.max_violation_pct))
         predictor_data[label] = result
 
     # --- metric ablation ----------------------------------------------------
-    native = _replay_proposed(fine, config)
-    pearson = _replay_proposed(fine, config, approach_cls=PearsonProposedApproach)
+    native = swept["metric:eqn1"]
+    pearson = swept["metric:pearson"]
     metric_rows = [
         ("Eqn-1 cost", native.avg_power_w, native.max_violation_pct),
         ("Pearson-derived cost", pearson.avg_power_w, pearson.max_violation_pct),

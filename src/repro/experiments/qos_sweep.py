@@ -10,11 +10,14 @@ trade service level against energy.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.analysis.reporting import ascii_table
 from repro.experiments.base import ExperimentResult
 from repro.experiments.setup2 import Setup2Config, build_fine_traces
 from repro.sim.approaches import ProposedApproach
-from repro.sim.engine import ReplayConfig, replay
+from repro.sim.engine import ReplayConfig
+from repro.sim.runner import Scenario, run_scenarios
 from repro.traces.trace import ReferenceSpec
 
 __all__ = ["run", "PERCENTILES"]
@@ -23,7 +26,7 @@ __all__ = ["run", "PERCENTILES"]
 PERCENTILES = (90.0, 95.0, 99.0, 100.0)
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def run(fast: bool = False, workers: int | None = None) -> ExperimentResult:
     """Sweep the reference percentile through the proposed pipeline."""
     config = Setup2Config()
     if fast:
@@ -31,19 +34,33 @@ def run(fast: bool = False) -> ExperimentResult:
     fine = build_fine_traces(config)
     replay_config = ReplayConfig(tperiod_s=config.tperiod_s)
 
+    scenarios = [
+        Scenario(
+            name=f"p{percentile:.0f}",
+            approach_factory=partial(
+                ProposedApproach,
+                config.spec.n_cores,
+                config.spec.freq_levels_ghz,
+                max_servers=config.num_servers,
+                reference=ReferenceSpec(percentile),
+                allocation=config.allocation,
+                default_reference=config.traces.vm_core_cap,
+            ),
+            spec=config.spec,
+            num_servers=config.num_servers,
+            replay=replay_config,
+            traces=fine,
+            trace_builder=partial(build_fine_traces, config),
+            approach_name=f"p{percentile:.0f}",
+            seed=config.traces.seed,
+        )
+        for percentile in PERCENTILES
+    ]
+    swept = run_scenarios(scenarios, workers=workers)
+
     rows = []
     results = {}
-    for percentile in PERCENTILES:
-        approach = ProposedApproach(
-            config.spec.n_cores,
-            config.spec.freq_levels_ghz,
-            max_servers=config.num_servers,
-            reference=ReferenceSpec(percentile),
-            allocation=config.allocation,
-            default_reference=config.traces.vm_core_cap,
-        )
-        approach.name = f"p{percentile:.0f}"
-        result = replay(fine, config.spec, config.num_servers, approach, replay_config)
+    for percentile, result in zip(PERCENTILES, swept):
         results[percentile] = result
         rows.append(
             (

@@ -18,8 +18,13 @@ import numpy as np
 
 from repro.analysis.reporting import ascii_table
 from repro.experiments.base import ExperimentResult
-from repro.experiments.setup2 import Setup2Config, build_fine_traces, run_setup2
-from repro.sim.engine import ReplayConfig, replay
+from repro.experiments.setup2 import (
+    Setup2Config,
+    Setup2Outcome,
+    build_fine_traces,
+    setup2_scenarios,
+)
+from repro.sim.runner import run_scenarios
 from repro.traces.datacenter import DatacenterTraceConfig
 
 __all__ = ["run", "SEEDS"]
@@ -48,20 +53,55 @@ def _config_for_seed(base: Setup2Config, seed: int) -> Setup2Config:
     )
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    """Sweep seeds; also run the oracle variant on the default seed."""
+def run(fast: bool = False, workers: int | None = None) -> ExperimentResult:
+    """Sweep seeds; also run the oracle variant on the default seed.
+
+    The whole grid — every seed's three approaches plus the two
+    oracle-prediction replays — is one scenario batch, so ``workers``
+    parallelises across seeds *and* approaches at once.
+    """
     base = Setup2Config()
     if fast:
         base = base.fast_variant()
     seeds = SEEDS[:3] if fast else SEEDS
+
+    # One declarative batch for the full grid.  The oracle variant reuses
+    # the default seed's population; its non-oracle comparison rows come
+    # from that seed's grid results (same deterministic replays).
+    populations = {}
+    scenarios = []
+    for seed in seeds:
+        config = _config_for_seed(base, seed)
+        populations[seed] = build_fine_traces(config)
+        scenarios += setup2_scenarios(
+            config, "static", populations[seed], name_prefix=f"seed{seed}:"
+        )
+    oracle_scenarios = [
+        scenario
+        for scenario in setup2_scenarios(
+            _config_for_seed(base, seeds[0]),
+            "static",
+            populations[seeds[0]],
+            name_prefix="oracle:",
+            oracle=True,
+        )
+        if not scenario.name.endswith("PCP")
+    ]
+    scenarios += oracle_scenarios
+
+    swept = dict(zip([s.name for s in scenarios], run_scenarios(scenarios, workers=workers)))
 
     rows = []
     power_ratios = []
     violation_gaps = []
     per_seed = {}
     for seed in seeds:
-        config = _config_for_seed(base, seed)
-        outcome = run_setup2(config, dvfs_mode="static")
+        outcome = Setup2Outcome(
+            fine_traces=populations[seed],
+            results=tuple(
+                swept[f"seed{seed}:{label}"] for label in ("BFD", "PCP", "Proposed")
+            ),
+        )
         per_seed[seed] = outcome
         bfd = outcome.result("BFD")
         pcp = outcome.result("PCP")
@@ -92,38 +132,16 @@ def run(fast: bool = False) -> ExperimentResult:
         title="Static Table II across generator seeds",
     )
 
-    # Oracle variant on the default seed: perfect reference prediction.
-    config = _config_for_seed(base, seeds[0])
-    fine = build_fine_traces(config)
     oracle_rows = []
     oracle_results = {}
     for oracle in (False, True):
         if oracle:
-            from repro.sim.approaches import BfdApproach, ProposedApproach
-
-            replay_config = ReplayConfig(tperiod_s=config.tperiod_s, oracle=True)
-            results = []
-            for approach in (
-                BfdApproach(
-                    config.spec.n_cores,
-                    config.spec.freq_levels_ghz,
-                    max_servers=config.num_servers,
-                    default_reference=config.traces.vm_core_cap,
-                ),
-                ProposedApproach(
-                    config.spec.n_cores,
-                    config.spec.freq_levels_ghz,
-                    max_servers=config.num_servers,
-                    allocation=config.allocation,
-                    default_reference=config.traces.vm_core_cap,
-                ),
-            ):
-                results.append(
-                    replay(fine, config.spec, config.num_servers, approach, replay_config)
-                )
-            named = {r.approach_name: r for r in results}
+            named = {
+                "BFD": swept["oracle:BFD"],
+                "Proposed": swept["oracle:Proposed"],
+            }
         else:
-            outcome = run_setup2(config, dvfs_mode="static", fine_traces=fine)
+            outcome = per_seed[seeds[0]]
             named = {
                 "BFD": outcome.result("BFD"),
                 "Proposed": outcome.result("Proposed"),

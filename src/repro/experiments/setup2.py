@@ -11,6 +11,7 @@ and Fig 6 runs through :func:`run_setup2`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -18,13 +19,20 @@ from repro.baselines.pcp import PcpConfig
 from repro.core.allocation import AllocationConfig
 from repro.infrastructure.server import XEON_E5410, ServerSpec
 from repro.sim.approaches import BfdApproach, PcpApproach, ProposedApproach
-from repro.sim.engine import ReplayConfig, replay
+from repro.sim.engine import ReplayConfig
 from repro.sim.results import ReplayResult
+from repro.sim.runner import Scenario, run_scenarios
 from repro.traces.datacenter import DatacenterTraceConfig, generate_datacenter_traces
 from repro.traces.synthesis import refine_trace_set
 from repro.traces.trace import TraceSet
 
-__all__ = ["Setup2Config", "Setup2Outcome", "build_fine_traces", "run_setup2"]
+__all__ = [
+    "Setup2Config",
+    "Setup2Outcome",
+    "build_fine_traces",
+    "run_setup2",
+    "setup2_scenarios",
+]
 
 
 @dataclass(frozen=True)
@@ -90,48 +98,87 @@ def build_fine_traces(config: Setup2Config) -> TraceSet:
     )
 
 
-def run_setup2(
-    config: Setup2Config | None = None,
-    dvfs_mode: str = "static",
-    fine_traces: TraceSet | None = None,
-) -> Setup2Outcome:
-    """Replay BFD, PCP and the proposed scheme on one population.
+def setup2_scenarios(
+    config: Setup2Config,
+    dvfs_mode: str,
+    fine_traces: TraceSet,
+    name_prefix: str = "",
+    oracle: bool = False,
+) -> list[Scenario]:
+    """The three compared approaches as one declarative scenario batch.
 
-    ``fine_traces`` may be passed in to share one refined population
-    across the static and dynamic variants (as the paper does).
+    The factories are ``functools.partial`` applications of the approach
+    classes over the (frozen, picklable) configuration, so the batch can
+    be executed in-process or fanned across a worker pool unchanged.
+    Each scenario also carries ``build_fine_traces(config)`` as its trace
+    builder, so pool workers regenerate the (seeded, deterministic)
+    population instead of receiving the pinned matrix over a pipe.
     """
-    config = config or Setup2Config()
-    if fine_traces is None:
-        fine_traces = build_fine_traces(config)
     replay_config = ReplayConfig(
         tperiod_s=config.tperiod_s,
         dvfs_mode=dvfs_mode,
         dvfs_interval_samples=config.dvfs_interval_samples,
+        oracle=oracle,
     )
     n_cores = config.spec.n_cores
     levels = config.spec.freq_levels_ghz
     default_ref = config.traces.vm_core_cap
-    approaches = [
-        BfdApproach(
-            n_cores, levels, max_servers=config.num_servers, default_reference=default_ref
+    factories = {
+        "BFD": partial(
+            BfdApproach,
+            n_cores,
+            levels,
+            max_servers=config.num_servers,
+            default_reference=default_ref,
         ),
-        PcpApproach(
+        "PCP": partial(
+            PcpApproach,
             n_cores,
             levels,
             max_servers=config.num_servers,
             pcp=config.pcp,
             default_reference=default_ref,
         ),
-        ProposedApproach(
+        "Proposed": partial(
+            ProposedApproach,
             n_cores,
             levels,
             max_servers=config.num_servers,
             allocation=config.allocation,
             default_reference=default_ref,
         ),
+    }
+    return [
+        Scenario(
+            name=f"{name_prefix}{label}",
+            approach_factory=factory,
+            spec=config.spec,
+            num_servers=config.num_servers,
+            replay=replay_config,
+            traces=fine_traces,
+            trace_builder=partial(build_fine_traces, config),
+            seed=config.traces.seed,
+        )
+        for label, factory in factories.items()
     ]
-    results = tuple(
-        replay(fine_traces, config.spec, config.num_servers, approach, replay_config)
-        for approach in approaches
-    )
+
+
+def run_setup2(
+    config: Setup2Config | None = None,
+    dvfs_mode: str = "static",
+    fine_traces: TraceSet | None = None,
+    workers: int | None = None,
+) -> Setup2Outcome:
+    """Replay BFD, PCP and the proposed scheme on one population.
+
+    ``fine_traces`` may be passed in to share one refined population
+    across the static and dynamic variants (as the paper does).
+    ``workers`` fans the three replays over a process pool (see
+    :func:`repro.sim.runner.run_scenarios`).
+    """
+    config = config or Setup2Config()
+    if fine_traces is None:
+        fine_traces = build_fine_traces(config)
+    scenarios = setup2_scenarios(config, dvfs_mode, fine_traces)
+    results = tuple(run_scenarios(scenarios, workers=workers))
     return Setup2Outcome(fine_traces=fine_traces, results=results)

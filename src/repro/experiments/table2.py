@@ -30,8 +30,14 @@ from __future__ import annotations
 
 from repro.analysis.reporting import ascii_table
 from repro.experiments.base import ExperimentResult
-from repro.experiments.setup2 import Setup2Config, build_fine_traces, run_setup2
+from repro.experiments.setup2 import (
+    Setup2Config,
+    Setup2Outcome,
+    build_fine_traces,
+    setup2_scenarios,
+)
 from repro.sim.results import comparison_rows
+from repro.sim.runner import run_scenarios
 
 __all__ = ["run"]
 
@@ -52,15 +58,22 @@ def _render(rows: list[dict[str, object]], title: str) -> str:
     )
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    """Regenerate both halves of Table II."""
+def run(fast: bool = False, workers: int | None = None) -> ExperimentResult:
+    """Regenerate both halves of Table II.
+
+    Both v/f variants go through one scenario sweep — six independent
+    replays that ``workers`` can fan over a process pool.
+    """
     config = Setup2Config()
     if fast:
         config = config.fast_variant()
     fine = build_fine_traces(config)
 
-    static = run_setup2(config, dvfs_mode="static", fine_traces=fine)
-    dynamic = run_setup2(config, dvfs_mode="dynamic", fine_traces=fine)
+    scenarios = setup2_scenarios(config, "static", fine, name_prefix="static:")
+    scenarios += setup2_scenarios(config, "dynamic", fine, name_prefix="dynamic:")
+    results = run_scenarios(scenarios, workers=workers)
+    static = Setup2Outcome(fine_traces=fine, results=tuple(results[:3]))
+    dynamic = Setup2Outcome(fine_traces=fine, results=tuple(results[3:]))
 
     static_rows = comparison_rows(static.results)
     dynamic_rows = comparison_rows(dynamic.results)

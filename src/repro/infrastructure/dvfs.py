@@ -18,7 +18,33 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["FrequencyLadder", "StaticVfSetting", "UtilizationTrackingPolicy"]
+__all__ = [
+    "FrequencyLadder",
+    "StaticVfSetting",
+    "UtilizationTrackingPolicy",
+    "exact_level_indices",
+]
+
+
+def exact_level_indices(
+    known_levels: Sequence[float], freqs_ghz: np.ndarray, kind: str
+) -> np.ndarray:
+    """Positional indices of exact matches of ``freqs_ghz`` in a sorted set.
+
+    Shared by the frequency ladder and the power model so the
+    searchsorted / clamp / exact-match validation lives in one place;
+    ``kind`` names the level set in the error (e.g. "a ladder level").
+    """
+    freqs = np.asarray(freqs_ghz, dtype=float)
+    known = np.asarray(known_levels, dtype=float)
+    indices = np.searchsorted(known, freqs, side="left")
+    np.minimum(indices, len(known) - 1, out=indices)
+    if not np.array_equal(known[indices], freqs):
+        bad = freqs[known[indices] != freqs]
+        raise ValueError(
+            f"{bad.flat[0]} GHz is not {kind} (valid: {tuple(known_levels)})"
+        )
+    return indices
 
 
 class FrequencyLadder:
@@ -29,7 +55,7 @@ class FrequencyLadder:
     capacity check the target encodes would be silently violated.
     """
 
-    __slots__ = ("_levels",)
+    __slots__ = ("_levels", "_levels_array")
 
     def __init__(self, levels_ghz: Sequence[float]) -> None:
         levels = tuple(sorted(set(float(f) for f in levels_ghz)))
@@ -38,6 +64,8 @@ class FrequencyLadder:
         if any(f <= 0 for f in levels):
             raise ValueError("frequency levels must be positive")
         self._levels = levels
+        self._levels_array = np.array(levels, dtype=float)
+        self._levels_array.flags.writeable = False
 
     @property
     def levels_ghz(self) -> tuple[float, ...]:
@@ -83,6 +111,37 @@ class FrequencyLadder:
         if index >= len(self._levels):
             return self.fmax_ghz
         return self._levels[index]
+
+    @property
+    def levels_array(self) -> np.ndarray:
+        """Supported levels as a read-only float array, ascending."""
+        return self._levels_array
+
+    def quantize_up_indices(self, targets_ghz: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`quantize_up`, returned as ladder *indices*.
+
+        Element-for-element identical to the scalar method: a
+        ``searchsorted`` against the ladder clamped to the top level, with
+        non-finite targets (NaN and +inf sort past the end under
+        ``side='left'``; -inf is handled by the explicit finite mask)
+        mapping to ``fmax``.  The single source of the batched quantize-up
+        rule — :meth:`quantize_up_array` and the DVFS policy's index-space
+        planner both go through it.
+        """
+        targets = np.asarray(targets_ghz, dtype=float)
+        indices = np.searchsorted(self._levels_array, targets, side="left")
+        np.minimum(indices, len(self._levels) - 1, out=indices)
+        if not np.isfinite(targets).all():
+            indices = np.where(np.isfinite(targets), indices, len(self._levels) - 1)
+        return indices
+
+    def quantize_up_array(self, targets_ghz: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`quantize_up` over an array of targets."""
+        return self._levels_array[self.quantize_up_indices(targets_ghz)]
+
+    def index_array(self, freqs_ghz: np.ndarray) -> np.ndarray:
+        """Positional ladder indices of an array of exact levels."""
+        return exact_level_indices(self._levels, freqs_ghz, "a ladder level")
 
     def quantize_down(self, target_ghz: float) -> float:
         """Largest level <= ``target_ghz`` (clamped to ``fmin`` below)."""
@@ -175,3 +234,67 @@ class UtilizationTrackingPolicy:
         peak = float(demand.max()) * self._headroom
         target = ladder.fmax_ghz * peak / n_cores
         return ladder.quantize_up(target)
+
+    def choose_series(
+        self,
+        demand_cores: np.ndarray,
+        ladder: FrequencyLadder,
+        n_cores: int,
+        static_freq_ghz: np.ndarray | float,
+    ) -> np.ndarray:
+        """Per-sample frequency plan for a whole fleet over one period.
+
+        ``demand_cores`` is the ``(num_servers, samples)`` aggregate demand
+        matrix of one placement period.  Each server starts the period at
+        its ``static_freq_ghz`` (scalar or per-server array) and, every
+        ``interval_samples`` samples, switches to :meth:`choose` of the
+        previous interval — evaluated for *all* servers in one reshape /
+        interval-peak reduction and one vectorized ladder quantization.
+        Element-for-element identical to looping :meth:`choose` per server
+        and interval.
+        """
+        static = np.asarray(static_freq_ghz, dtype=float).reshape(-1)
+        static_indices = ladder.index_array(
+            np.broadcast_to(static, (np.asarray(demand_cores).shape[0],))
+        )
+        indices = self.choose_series_indices(demand_cores, ladder, n_cores, static_indices)
+        return ladder.levels_array[indices]
+
+    def choose_series_indices(
+        self,
+        demand_cores: np.ndarray,
+        ladder: FrequencyLadder,
+        n_cores: int,
+        static_indices: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`choose_series` returning ladder *indices* instead of GHz.
+
+        The replay engine works in index space (residency bincounts,
+        wattage gathers), so this variant avoids materialising the GHz
+        matrix and the round trip back through an exact-level lookup.
+        ``static_indices`` is the per-server placement-time level index.
+        """
+        demand = np.asarray(demand_cores, dtype=float)
+        if demand.ndim != 2:
+            raise ValueError(f"demand matrix must be 2-D, got shape {demand.shape}")
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        num_servers, samples = demand.shape
+        static = np.broadcast_to(
+            np.asarray(static_indices, dtype=np.intp).reshape(-1), (num_servers,)
+        )
+        indices = np.repeat(static[:, None], max(samples, 1), axis=1)[:, :samples]
+        interval = self._interval
+        num_windows = (samples - 1) // interval if samples else 0
+        if num_windows == 0:
+            return indices
+        windows = demand[:, : num_windows * interval].reshape(
+            num_servers, num_windows, interval
+        )
+        peaks = windows.max(axis=2) * self._headroom
+        targets = ladder.fmax_ghz * peaks / n_cores
+        chosen = ladder.quantize_up_indices(targets)
+        indices[:, interval:] = np.repeat(chosen, interval, axis=1)[
+            :, : samples - interval
+        ]
+        return indices

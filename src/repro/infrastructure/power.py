@@ -30,6 +30,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+import numpy as np
+
+from repro.infrastructure.dvfs import exact_level_indices
+
 __all__ = ["DvfsPowerModel", "XEON_E5410_POWER", "OPTERON_6174_POWER"]
 
 
@@ -103,6 +107,25 @@ class DvfsPowerModel:
     def busy_power_w(self, freq_ghz: float) -> float:
         """Fully-busy power at ``freq_ghz``."""
         return self.idle_power_w(freq_ghz) + self.p_core_dyn_w * self._scale(freq_ghz)
+
+    def power_table(self, freqs_ghz) -> tuple[np.ndarray, np.ndarray]:
+        """``(idle_w, busy_w)`` arrays over the given operating points.
+
+        The batched replay engine gathers these per-level wattages by
+        ladder index instead of calling the scalar lookups per server and
+        level.  The wattages are computed once per *distinct* operating
+        point with the scalar methods and gathered by index, so every
+        element is bit-identical to :meth:`idle_power_w` /
+        :meth:`busy_power_w` (recomputing ``(V/Vmax)^2`` with array ops
+        could drift in the last bit — libm ``pow`` and a vectorized
+        multiply do not always round alike).
+        """
+        indices = exact_level_indices(
+            self._freqs, freqs_ghz, "an operating point of this model"
+        )
+        idle = np.array([self.idle_power_w(f) for f in self._freqs])[indices]
+        busy = np.array([self.busy_power_w(f) for f in self._freqs])[indices]
+        return idle, busy
 
     def power_w(self, busy_fraction: float, freq_ghz: float, active: bool = True) -> float:
         """Server power at the given busy fraction and frequency.

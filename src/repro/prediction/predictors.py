@@ -14,6 +14,7 @@ testable and swappable.
 
 from __future__ import annotations
 
+import math
 from typing import Protocol, Sequence
 
 import numpy as np
@@ -29,7 +30,13 @@ __all__ = [
 
 
 class Predictor(Protocol):
-    """Estimates next-period reference utilization from per-period history."""
+    """Estimates next-period reference utilization from per-period history.
+
+    Implementations may expose an optional ``history_window`` attribute —
+    the number of trailing history values :meth:`predict` actually reads
+    (``None`` for "all of it").  History keepers use it to bound per-VM
+    history growth; absent, they conservatively keep everything.
+    """
 
     def predict(self, history: Sequence[float] | np.ndarray) -> float:
         """Prediction for the next period; ``history`` is oldest-first.
@@ -41,6 +48,18 @@ class Predictor(Protocol):
 
 
 def _validated(history: Sequence[float] | np.ndarray) -> np.ndarray:
+    if (
+        type(history) is list
+        and len(history) <= 8
+        and all(type(item) is float for item in history)
+    ):
+        # Fast path for the short bounded lists the reference-history
+        # keepers feed in every period: plain-float checks beat the
+        # asarray + any/all reduction round trip by an order of magnitude.
+        for value in history:
+            if value < 0.0 or not math.isfinite(value):
+                raise ValueError("history values must be finite and non-negative")
+        return np.array(history, dtype=float)
     data = np.asarray(history, dtype=float)
     if data.ndim != 1:
         raise ValueError(f"history must be one-dimensional, got shape {data.shape}")
@@ -57,6 +76,9 @@ class LastValuePredictor:
     """
 
     __slots__ = ("_default",)
+
+    #: predict() only reads the last value.
+    history_window = 1
 
     def __init__(self, default: float = 0.0) -> None:
         if default < 0:
@@ -87,6 +109,11 @@ class MovingAveragePredictor:
         self._window = window
         self._default = default
 
+    @property
+    def history_window(self) -> int:
+        """predict() only reads the last ``window`` values."""
+        return self._window
+
     def predict(self, history: Sequence[float] | np.ndarray) -> float:
         data = _validated(history)
         if data.size == 0:
@@ -102,6 +129,10 @@ class EwmaPredictor:
     """
 
     __slots__ = ("_alpha", "_default")
+
+    #: The EWMA folds the *entire* history (old values decay but never
+    #: leave the recurrence), so it declares an unbounded window.
+    history_window = None
 
     def __init__(self, alpha: float = 0.5, default: float = 0.0) -> None:
         if not 0.0 < alpha <= 1.0:
@@ -139,6 +170,11 @@ class MaxOverHistoryPredictor:
         self._window = window
         self._default = default
 
+    @property
+    def history_window(self) -> int:
+        """predict() only reads the last ``window`` values."""
+        return self._window
+
     def predict(self, history: Sequence[float] | np.ndarray) -> float:
         data = _validated(history)
         if data.size == 0:
@@ -155,6 +191,9 @@ class OraclePredictor:
     """
 
     __slots__ = ("_truth",)
+
+    #: predict() ignores the history entirely.
+    history_window = 0
 
     def __init__(self) -> None:
         self._truth: float | None = None

@@ -18,8 +18,11 @@ from repro.sim.deployment import DeploymentDelta, apply_decision
 from repro.sim.engine import ReplayConfig, replay
 from repro.sim.migration import MigrationCostModel
 from repro.sim.results import ReplayResult, comparison_rows, normalized_power
+from repro.sim.runner import Scenario, run_scenarios
 
 __all__ = [
+    "Scenario",
+    "run_scenarios",
     "ApproachDecision",
     "ConsolidationApproach",
     "ProposedApproach",

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Protocol
 
+import numpy as np
+
 from repro.baselines.bfd import best_fit_decreasing
 from repro.baselines.ffd import first_fit_decreasing
 from repro.baselines.pcp import PcpConfig, peak_clustering_placement
@@ -76,12 +78,22 @@ class _ReferenceHistory:
     upcoming references (see ``ReplayConfig.oracle``), which then replace
     the predictor's output for exactly one decision.  This separates
     placement quality from predictor error in the ablation experiments.
+
+    Histories are bounded to the predictor's declared ``history_window``
+    (see :class:`~repro.prediction.predictors.Predictor`): a replay over
+    thousands of periods must not grow per-VM lists forever when the
+    predictor only ever reads the last few values.  Predictors without
+    the attribute, or declaring ``None``, keep the full history.
     """
 
     def __init__(self, spec: ReferenceSpec, predictor: Predictor, default: float) -> None:
         self._spec = spec
         self._predictor = predictor
         self._default = default
+        window = getattr(predictor, "history_window", None)
+        if window is not None and window < 0:
+            raise ValueError(f"history_window must be non-negative, got {window}")
+        self._bound = window
         self._history: dict[str, list[float]] = {}
         self._primed: dict[str, float] | None = None
 
@@ -93,10 +105,13 @@ class _ReferenceHistory:
         observed = window.references(self._spec)
         primed = self._primed
         self._primed = None
+        bound = self._bound
         predictions: dict[str, float] = {}
         for vm, value in observed.items():
             history = self._history.setdefault(vm, [])
             history.append(value)
+            if bound is not None and len(history) > bound:
+                del history[: len(history) - bound]
             if primed is not None and vm in primed:
                 predictions[vm] = primed[vm]
             else:
@@ -146,24 +161,65 @@ class ProposedApproach:
             self._reference, predictor or LastValuePredictor(default_reference), default_reference
         )
         self._horizon_periods = horizon_periods
-        self._window_history: list[TraceSet] = []
+        # Preallocated horizon buffer: ``horizon_periods`` windows wide,
+        # filled left to right and shifted in place once full, so the
+        # rolling horizon never re-concatenates a list of past windows.
+        # (Only used in percentile-reference mode; peak mode folds cached
+        # per-window Eqn-1 parts instead — see _horizon_cost_matrix.)
+        self._horizon_buffer: np.ndarray | None = None
+        self._horizon_filled = 0
+        self._part_names: tuple[str, ...] | None = None
+        self._parts: list[tuple[np.ndarray, np.ndarray]] = []
 
     def _horizon(self, window: TraceSet) -> TraceSet:
         """The last ``horizon_periods`` windows, concatenated."""
-        self._window_history.append(window)
-        if len(self._window_history) > self._horizon_periods:
-            self._window_history = self._window_history[-self._horizon_periods :]
-        if len(self._window_history) == 1:
+        if self._horizon_periods == 1:
             return window
-        import numpy as np
+        incoming = window.matrix
+        num_vms, width = incoming.shape
+        capacity = self._horizon_periods * width
+        buffer = self._horizon_buffer
+        if buffer is None or buffer.shape != (num_vms, capacity):
+            # First period, or the population/window geometry changed:
+            # (re)start the horizon from this window alone.
+            buffer = np.empty((num_vms, capacity), dtype=float)
+            self._horizon_buffer = buffer
+            self._horizon_filled = 0
+        if self._horizon_filled == capacity:
+            buffer[:, :-width] = buffer[:, width:]
+            buffer[:, -width:] = incoming
+        else:
+            buffer[:, self._horizon_filled : self._horizon_filled + width] = incoming
+            self._horizon_filled += width
+        if self._horizon_filled == width:
+            return window
+        joined = buffer[:, : self._horizon_filled].copy()
+        joined.flags.writeable = False
+        return TraceSet.from_matrix(joined, window.names, window.period_s)
 
-        from repro.traces.trace import UtilizationTrace
+    def _horizon_cost_matrix(self, window: TraceSet) -> CostMatrix:
+        """Eqn-1 cost matrix over the rolling horizon.
 
-        joined = np.concatenate([w.matrix for w in self._window_history], axis=1)
-        return TraceSet(
-            UtilizationTrace(joined[i], window.period_s, name)
-            for i, name in enumerate(window.names)
-        )
+        Peak references decompose over window concatenation (``max`` of
+        per-window maxima, bit-exactly), so in peak mode each period only
+        reduces the *new* window's joint peaks and folds them with the
+        cached parts of the previous ``horizon_periods - 1`` windows —
+        instead of re-reducing the whole horizon.  Percentile references
+        do not decompose; that mode keeps the full horizon rebuild.
+        """
+        if not self._reference.is_peak or self._horizon_periods == 1:
+            return CostMatrix.from_traces(self._horizon(window), self._reference)
+        if self._part_names != window.names:
+            self._part_names = window.names
+            self._parts.clear()
+        self._parts.append(CostMatrix.reference_parts(window, self._reference))
+        if len(self._parts) > self._horizon_periods:
+            del self._parts[: len(self._parts) - self._horizon_periods]
+        refs, joint = self._parts[0]
+        for other_refs, other_joint in self._parts[1:]:
+            refs = np.maximum(refs, other_refs)
+            joint = np.maximum(joint, other_joint)
+        return CostMatrix.from_parts(window.names, refs, joint, self._reference)
 
     def prime_oracle(self, true_references: dict[str, float]) -> None:
         """Inject the true upcoming references (oracle ablation mode)."""
@@ -171,8 +227,7 @@ class ProposedApproach:
 
     def decide(self, window: TraceSet) -> ApproachDecision:
         predicted = self._refs.observe_and_predict(window)
-        horizon = self._horizon(window)
-        matrix = CostMatrix.from_traces(horizon, self._reference)
+        matrix = self._horizon_cost_matrix(window)
         placement = self._allocator.allocate(
             list(window.names),
             predicted,
@@ -193,7 +248,10 @@ class ProposedApproach:
 
     def reset(self) -> None:
         self._refs.reset()
-        self._window_history.clear()
+        self._horizon_buffer = None
+        self._horizon_filled = 0
+        self._part_names = None
+        self._parts.clear()
 
 
 class _PackingApproach:

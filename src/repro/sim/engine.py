@@ -14,6 +14,17 @@ frequency plan.  Two v/f modes:
 
 The first period is pure warm-up (there is no history to predict from);
 metrics cover periods ``1 .. P-1``.
+
+The accounting is *fleet-vectorized*: each period's frequency plan,
+violation ratios, residency counts and busy-fraction power are computed
+for all active servers at once (interval-peak reshape + vectorized
+ladder quantization, one boolean reduction per violation row, one
+bincount for residency, one batched power evaluation).  The only
+remaining per-server work is the energy accumulation, which preserves
+the exact summation order of the per-server scalar loop this engine
+replaced, so results stay bit-identical to it (the grouped ``reduceat``
+demand gather below is shared with that loop verbatim — its accumulation
+order is part of the contract; see ``tests/test_replay_vectorized.py``).
 """
 
 from __future__ import annotations
@@ -25,7 +36,7 @@ import numpy as np
 from repro.infrastructure.dvfs import UtilizationTrackingPolicy
 from repro.infrastructure.server import ServerSpec
 from repro.sim.approaches import ConsolidationApproach
-from repro.sim.metrics import FrequencyResidency, period_violation_ratio
+from repro.sim.metrics import FrequencyResidency, violating_samples
 from repro.sim.results import ReplayResult
 from repro.traces.trace import TraceSet
 
@@ -58,27 +69,6 @@ class ReplayConfig:
             raise ValueError("dvfs_interval_samples must be positive")
         if self.dvfs_headroom < 1.0:
             raise ValueError("dvfs_headroom below 1.0 deliberately under-provisions")
-
-
-def _period_frequencies(
-    demand: np.ndarray,
-    static_freq_ghz: float,
-    spec: ServerSpec,
-    config: ReplayConfig,
-    policy: UtilizationTrackingPolicy,
-) -> np.ndarray:
-    """Per-sample frequency series for one server over one period."""
-    samples = demand.size
-    freqs = np.full(samples, static_freq_ghz, dtype=float)
-    if config.dvfs_mode == "static":
-        return freqs
-    ladder = spec.ladder
-    interval = config.dvfs_interval_samples
-    for start in range(interval, samples, interval):
-        window = demand[start - interval : start]
-        chosen = policy.choose(window, ladder, spec.n_cores)
-        freqs[start : start + interval] = chosen
-    return freqs
 
 
 def replay(
@@ -118,6 +108,11 @@ def replay(
     approach.reset()
     policy = UtilizationTrackingPolicy(config.dvfs_interval_samples, config.dvfs_headroom)
     ladder = spec.ladder
+    num_levels = ladder.num_levels
+    # Per-level wattages, gathered once; ``power_table`` reproduces the
+    # scalar lookups bit-for-bit.
+    idle_w, busy_w = spec.power_model.power_table(ladder.levels_array)
+    delta_w = busy_w - idle_w
 
     measured_periods = total_periods - 1
     violation = np.zeros((measured_periods, num_servers), dtype=float)
@@ -153,12 +148,10 @@ def replay(
 
         start = period * samples_per_period
         stop = start + samples_per_period
-        by_server = placement.by_server()
         # Per-server demand in one pass: gather every VM's samples once,
         # grouped by server, and reduce each group with np.add.reduceat —
-        # a single buffered reduction for the whole fleet instead of a
-        # per-server Python row gather.
-        server_demand = np.zeros((num_servers, samples_per_period), dtype=float)
+        # a single buffered reduction for the whole fleet.  The reduceat
+        # output rows correspond directly to the (sorted) active servers.
         vm_rows = np.array([name_to_row[vm] for vm in placement.vm_ids], dtype=np.intp)
         server_rows = np.array(
             [placement.server_of(vm) for vm in placement.vm_ids], dtype=np.intp
@@ -167,33 +160,83 @@ def replay(
             grouping = np.argsort(server_rows, kind="stable")
             sorted_servers = server_rows[grouping]
             group_starts = np.flatnonzero(np.r_[True, np.diff(sorted_servers) > 0])
-            server_demand[sorted_servers[group_starts]] = np.add.reduceat(
+            active = sorted_servers[group_starts]
+            demand = np.add.reduceat(
                 matrix[vm_rows[grouping], start:stop], group_starts, axis=0
             )
-        for server_index in range(num_servers):
-            members = by_server.get(server_index, ())
-            if not members:
-                residency.record(server_index, ladder.fmax_ghz, samples_per_period, active=False)
-                continue
-            demand = server_demand[server_index]
-            setting = decision.frequencies.get(server_index)
-            static_freq = setting.freq_ghz if setting is not None else ladder.fmax_ghz
-            freqs = _period_frequencies(demand, static_freq, spec, config, policy)
+        else:
+            active = np.empty(0, dtype=np.intp)
+            demand = np.empty((0, samples_per_period), dtype=float)
+        num_active = active.size
 
+        # Suspended servers: one bulk inactive record for the whole fleet.
+        inactive_mask = np.ones(num_servers, dtype=bool)
+        inactive_mask[active] = False
+        residency.record_matrix(
+            np.zeros((0, num_levels), dtype=np.int64),
+            server_indices=np.empty(0, dtype=np.intp),
+            inactive_samples=samples_per_period,
+            inactive_indices=np.flatnonzero(inactive_mask),
+        )
+        if num_active == 0:
+            continue
+
+        # Frequency plan for all active servers at once: placement-time
+        # static levels, then (dynamic mode) interval peaks quantized
+        # against the ladder in one batched reduction.  Everything runs
+        # in ladder-index space; the static mode never materialises a
+        # per-sample frequency matrix at all (one level per server).
+        static_freqs = np.full(num_active, ladder.fmax_ghz, dtype=float)
+        for row, server_index in enumerate(active):
+            setting = decision.frequencies.get(int(server_index))
+            if setting is not None:
+                static_freqs[row] = setting.freq_ghz
+        static_idx = ladder.index_array(static_freqs)
+
+        counts = np.zeros((num_active, num_levels), dtype=np.int64)
+        if config.dvfs_mode == "static":
+            level_idx = None
+            capacity = (spec.n_cores * static_freqs / spec.fmax_ghz)[:, None]
+            counts[np.arange(num_active), static_idx] = samples_per_period
+            idle = idle_w[static_idx][:, None]
+            delta = delta_w[static_idx][:, None]
+        else:
+            level_idx = policy.choose_series_indices(
+                demand, ladder, spec.n_cores, static_idx
+            )
+            freqs = ladder.levels_array[level_idx]
             capacity = spec.n_cores * freqs / spec.fmax_ghz
-            violation[period - 1, server_index] = period_violation_ratio(demand, capacity)
+            flat = (np.arange(num_active)[:, None] * num_levels + level_idx).ravel()
+            counts.ravel()[:] = np.bincount(flat, minlength=num_active * num_levels)
+            idle = idle_w[level_idx]
+            delta = delta_w[level_idx]
 
-            for level in ladder.levels_ghz:
-                mask = freqs == level
-                count = int(mask.sum())
+        # Violation accounting: one boolean reduction for the fleet.
+        violation[period - 1, active] = violating_samples(demand, capacity).mean(axis=1)
+        residency.record_matrix(counts, server_indices=active)
+
+        # Busy-fraction power for the whole fleet in one batched
+        # evaluation: ``idle_w + (busy_w - idle_w) * busy`` with the
+        # per-level wattages gathered by ladder index.
+        busy = np.minimum(demand / capacity, 1.0)
+        power = idle + delta * busy
+        row_sums = power.sum(axis=1)
+
+        # Energy accumulation, preserving the scalar engine's exact
+        # order: servers ascending, levels ascending, one masked pairwise
+        # sum per (server, level).  A full-period level (always, in
+        # static mode) reuses the precomputed row sum — same pairwise
+        # reduction, no masking pass.
+        for row in range(num_active):
+            for level in range(num_levels):
+                count = counts[row, level]
                 if count == 0:
                     continue
-                residency.record(server_index, level, count, active=True)
-                busy = np.minimum(demand[mask] / (spec.n_cores * level / spec.fmax_ghz), 1.0)
-                idle_w = spec.power_model.idle_power_w(level)
-                busy_w = spec.power_model.busy_power_w(level)
-                power = idle_w + (busy_w - idle_w) * busy
-                energy_j += float(power.sum()) * fine_traces.period_s
+                if count == samples_per_period:
+                    subtotal = row_sums[row]
+                else:
+                    subtotal = power[row, level_idx[row] == level].sum()
+                energy_j += float(subtotal) * fine_traces.period_s
 
     duration_s = measured_periods * samples_per_period * fine_traces.period_s
     return ReplayResult(

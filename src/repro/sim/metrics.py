@@ -14,8 +14,7 @@ The Table-II metrics, as the paper defines them:
 
 from __future__ import annotations
 
-from collections import Counter
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -73,14 +72,22 @@ def mean_violation_pct(violation_ratios: np.ndarray) -> float:
 
 
 class FrequencyResidency:
-    """Per-server counts of active samples at each frequency level."""
+    """Per-server counts of active samples at each frequency level.
+
+    Backed by a dense ``(num_servers, num_levels)`` integer count array so
+    the replay engine can fold a whole fleet-period of residency into it
+    with one :meth:`record_matrix` call; the Counter-style dict accessors
+    (:meth:`counts`, :meth:`fractions`, :meth:`merged`) are views over
+    that array and behave exactly as before.
+    """
 
     def __init__(self, num_servers: int, levels_ghz: Sequence[float]) -> None:
         if num_servers < 1:
             raise ValueError("need at least one server")
         self._levels = tuple(sorted(levels_ghz))
-        self._counts: list[Counter[float]] = [Counter() for _ in range(num_servers)]
-        self._inactive = [0] * num_servers
+        self._level_index = {level: i for i, level in enumerate(self._levels)}
+        self._counts = np.zeros((num_servers, len(self._levels)), dtype=np.int64)
+        self._inactive = np.zeros(num_servers, dtype=np.int64)
 
     @property
     def levels_ghz(self) -> tuple[float, ...]:
@@ -90,7 +97,7 @@ class FrequencyResidency:
     @property
     def num_servers(self) -> int:
         """Number of tracked servers."""
-        return len(self._counts)
+        return int(self._counts.shape[0])
 
     def record(self, server_index: int, freq_ghz: float, samples: int, active: bool) -> None:
         """Accumulate ``samples`` at one operating point."""
@@ -99,30 +106,75 @@ class FrequencyResidency:
         if not active:
             self._inactive[server_index] += samples
             return
-        if freq_ghz not in self._levels:
-            raise ValueError(f"{freq_ghz} GHz is not a tracked level ({self._levels})")
-        self._counts[server_index][freq_ghz] += samples
+        try:
+            level = self._level_index[freq_ghz]
+        except KeyError:
+            raise ValueError(
+                f"{freq_ghz} GHz is not a tracked level ({self._levels})"
+            ) from None
+        self._counts[server_index, level] += samples
+
+    def record_matrix(
+        self,
+        level_counts: np.ndarray,
+        server_indices: np.ndarray | None = None,
+        inactive_samples: np.ndarray | int | None = None,
+        inactive_indices: np.ndarray | None = None,
+    ) -> None:
+        """Bulk accumulation for one replay period.
+
+        ``level_counts`` is a ``(k, num_levels)`` count matrix for the
+        servers named by ``server_indices`` (all servers when omitted);
+        ``inactive_samples`` is added to the inactive tally of
+        ``inactive_indices``.  One call replaces ``k * num_levels``
+        :meth:`record` calls in the fleet-vectorized engine.
+        """
+        counts = np.asarray(level_counts)
+        if counts.ndim != 2 or counts.shape[1] != len(self._levels):
+            raise ValueError(
+                f"level_counts must be (k, {len(self._levels)}), got {counts.shape}"
+            )
+        if np.any(counts < 0):
+            raise ValueError("sample count must be non-negative")
+        if server_indices is None:
+            if counts.shape[0] != self.num_servers:
+                raise ValueError(
+                    f"expected counts for all {self.num_servers} servers, "
+                    f"got {counts.shape[0]} rows"
+                )
+            self._counts += counts
+        else:
+            np.add.at(self._counts, np.asarray(server_indices, dtype=np.intp), counts)
+        if inactive_samples is not None:
+            if np.any(np.asarray(inactive_samples) < 0):
+                raise ValueError("sample count must be non-negative")
+            if inactive_indices is None:
+                self._inactive += inactive_samples
+            else:
+                np.add.at(
+                    self._inactive,
+                    np.asarray(inactive_indices, dtype=np.intp),
+                    inactive_samples,
+                )
 
     def counts(self, server_index: int) -> dict[float, int]:
         """Active-sample counts per level for one server (all levels)."""
-        counter = self._counts[server_index]
-        return {level: counter.get(level, 0) for level in self._levels}
+        row = self._counts[server_index]
+        return {level: int(row[i]) for i, level in enumerate(self._levels)}
 
     def inactive(self, server_index: int) -> int:
         """Samples the server spent suspended (no VMs)."""
-        return self._inactive[server_index]
+        return int(self._inactive[server_index])
 
     def fractions(self, server_index: int) -> dict[float, float]:
         """Residency fractions over the server's *active* samples."""
-        counter = self._counts[server_index]
-        total = sum(counter.values())
+        row = self._counts[server_index]
+        total = int(row.sum())
         if total == 0:
             return {level: 0.0 for level in self._levels}
-        return {level: counter.get(level, 0) / total for level in self._levels}
+        return {level: int(row[i]) / total for i, level in enumerate(self._levels)}
 
     def merged(self) -> dict[float, int]:
         """Fleet-wide counts per level."""
-        merged: Counter[float] = Counter()
-        for counter in self._counts:
-            merged.update(counter)
-        return {level: merged.get(level, 0) for level in self._levels}
+        totals = self._counts.sum(axis=0)
+        return {level: int(totals[i]) for i, level in enumerate(self._levels)}

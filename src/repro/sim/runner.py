@@ -1,0 +1,250 @@
+"""Declarative scenario sweeps over the replay engine.
+
+Every experiment in this repository is, at heart, a *sweep*: the same
+replay engine driven over a family of independent (approach, replay
+config, trace population) combinations — Table II's three approaches
+times two v/f modes, the QoS sweep's reference percentiles, the
+robustness grid's generator seeds, the ablation benches' knob settings.
+This module gives that family a first-class shape:
+
+* :class:`Scenario` — one replay, described declaratively: a picklable
+  zero-argument *approach factory* (so every run starts from a fresh,
+  stateless-by-construction approach), the replay configuration, and the
+  trace population (either a concrete :class:`TraceSet` or a picklable
+  builder callable, so workers can regenerate traces instead of
+  receiving megabytes over a pipe).
+* :func:`run_scenarios` — executes a batch of scenarios either serially
+  or fanned out over a process pool (``workers=N``), returning results
+  in scenario order.  Scenarios are deterministic given their inputs, so
+  serial and parallel execution produce identical results; a test
+  asserts exactly that.
+
+Determinism and reproducibility notes: scenario trace builders must
+derive all randomness from seeds captured in the builder (e.g. a
+``functools.partial`` over a frozen config carrying the seed).  The
+optional ``seed`` field is carried alongside the name purely so sweep
+definitions are self-describing; the runner itself never draws
+randomness.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.infrastructure.server import ServerSpec
+from repro.sim.approaches import ConsolidationApproach
+from repro.sim.engine import ReplayConfig, replay
+from repro.sim.results import ReplayResult
+from repro.traces.trace import TraceSet
+
+__all__ = ["Scenario", "run_scenarios", "default_workers"]
+
+#: Environment knob: default worker count for sweeps that do not pass
+#: ``workers`` explicitly.  Unset or "1" keeps sweeps in-process.
+_WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One replay of one approach on one trace population.
+
+    Parameters
+    ----------
+    name:
+        Sweep-unique label (used in reports and result lookups).
+    approach_factory:
+        Zero-argument callable producing a fresh
+        :class:`~repro.sim.approaches.ConsolidationApproach`.  Must be
+        picklable for process-pool execution — a ``functools.partial``
+        over an approach class is the canonical form.
+    spec / num_servers:
+        The simulated fleet.
+    replay:
+        Engine configuration (v/f mode, period, oracle, ...).
+    traces:
+        Concrete trace population, used whenever present.
+    trace_builder:
+        Zero-argument picklable callable producing the population.
+        Builds are memoized per process, keyed by the pickled builder, so
+        scenarios sharing a builder share one build per worker.  At least
+        one of ``traces`` / ``trace_builder`` is required; providing
+        *both* is the efficient shape for sweeps that already hold the
+        population — in-process execution uses the pinned traces, while
+        process pools ship only the (cheap, seeded) builder and let
+        workers regenerate the matrix instead of unpickling it.
+    approach_name:
+        Optional display-name override applied to the constructed
+        approach before the replay (the sweep label and the approach's
+        self-reported name often differ, e.g. ``"p95"``).
+    seed:
+        Optional provenance note for seeded sweeps; not used by the
+        runner.
+    traces_fingerprint:
+        Internal: set by :func:`run_scenarios` when it strips pinned
+        traces for pool shipping, so workers can verify the builder
+        regenerated the same population.
+    """
+
+    name: str
+    approach_factory: Callable[[], ConsolidationApproach]
+    spec: ServerSpec
+    num_servers: int
+    replay: ReplayConfig = field(default_factory=ReplayConfig)
+    traces: TraceSet | None = None
+    trace_builder: Callable[[], TraceSet] | None = None
+    approach_name: str | None = None
+    seed: int | None = None
+    traces_fingerprint: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a name")
+        if self.num_servers < 1:
+            raise ValueError("a scenario needs at least one server")
+        if self.traces is None and self.trace_builder is None:
+            raise ValueError("provide traces and/or a trace_builder")
+
+    def with_traces(self, traces: TraceSet) -> "Scenario":
+        """A copy of this scenario pinned to a concrete population."""
+        return replace(self, traces=traces, trace_builder=None)
+
+
+#: Per-process memo of built trace populations, keyed by the pickled
+#: builder.  Lives at module scope so pool workers (which execute many
+#: scenarios each) build each shared population once.
+_TRACE_CACHE: dict[bytes, TraceSet] = {}
+
+
+def _fingerprint(traces: TraceSet) -> tuple:
+    """A cheap population identity: names, geometry, and demand mass."""
+    return (
+        traces.names,
+        traces.matrix.shape,
+        traces.period_s,
+        float(traces.matrix.sum()),
+    )
+
+
+def _scenario_traces(scenario: Scenario) -> TraceSet:
+    if scenario.traces is not None:
+        return scenario.traces
+    key = pickle.dumps(scenario.trace_builder)
+    cached = _TRACE_CACHE.get(key)
+    if cached is None:
+        # Keep the memo bounded: sweeps share a handful of populations,
+        # and an unbounded cache would pin every population of every
+        # sweep this process ever ran.
+        if len(_TRACE_CACHE) >= 8:
+            _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+        cached = scenario.trace_builder()
+        _TRACE_CACHE[key] = cached
+    if (
+        scenario.traces_fingerprint is not None
+        and _fingerprint(cached) != scenario.traces_fingerprint
+    ):
+        raise ValueError(
+            f"scenario {scenario.name!r}: trace_builder regenerated a different "
+            "population than the pinned traces (stale builder? mutated config?) "
+            "— parallel results would silently diverge from serial ones"
+        )
+    return cached
+
+
+def _execute(scenario: Scenario) -> ReplayResult:
+    """Run one scenario to completion (worker entry point)."""
+    traces = _scenario_traces(scenario)
+    approach = scenario.approach_factory()
+    if scenario.approach_name is not None:
+        approach.name = scenario.approach_name
+    return replay(traces, scenario.spec, scenario.num_servers, approach, scenario.replay)
+
+
+def default_workers() -> int:
+    """Worker count used when ``run_scenarios`` is called without one.
+
+    Reads the ``REPRO_SWEEP_WORKERS`` environment variable; ``0`` means
+    "one per CPU".  Unset (or invalid) values keep sweeps serial, which
+    is the right default for test suites and sub-second sweeps where
+    pool startup dwarfs the replays.
+    """
+    raw = os.environ.get(_WORKERS_ENV, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    if value == 0:
+        return os.cpu_count() or 1
+    return max(1, value)
+
+
+def run_scenarios(
+    scenarios: Sequence[Scenario],
+    workers: int | None = None,
+) -> list[ReplayResult]:
+    """Replay every scenario, returning results in scenario order.
+
+    ``workers`` selects the execution strategy: ``1`` (or ``None`` with
+    ``REPRO_SWEEP_WORKERS`` unset) runs in-process; ``N > 1`` fans the
+    scenarios over a process pool of at most ``N`` workers; ``0`` uses
+    one worker per CPU.  Each scenario is independent and deterministic,
+    so the strategy never changes the results — only the wall clock.
+
+    Scenario names must be unique within one sweep so downstream lookups
+    (and progress reporting) are unambiguous.
+    """
+    scenarios = list(scenarios)
+    names = [scenario.name for scenario in scenarios]
+    if len(set(names)) != len(names):
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        raise ValueError(f"duplicate scenario names: {duplicates}")
+    if not scenarios:
+        return []
+
+    if workers is None:
+        workers = default_workers()
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    workers = min(workers, len(scenarios))
+
+    if workers > 1:
+        # Cheap fallback probe: the callables are the only plausibly
+        # unpicklable pieces (lambdas, closures); probing them avoids
+        # re-serialising whole trace matrices just to find out.
+        try:
+            for scenario in scenarios:
+                pickle.dumps((scenario.approach_factory, scenario.trace_builder))
+        except Exception as error:
+            warnings.warn(
+                f"scenario sweep not picklable ({error}); falling back to "
+                "serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            workers = 1
+
+    if workers <= 1:
+        return [_execute(scenario) for scenario in scenarios]
+
+    # Workers regenerate any population that has a builder instead of
+    # unpickling the full matrix off the pipe; a fingerprint of the
+    # pinned traces rides along so a builder that no longer reproduces
+    # them fails loudly instead of silently diverging from serial runs.
+    shipped = [
+        replace(
+            scenario,
+            traces=None,
+            traces_fingerprint=(
+                _fingerprint(scenario.traces) if scenario.traces is not None else None
+            ),
+        )
+        if scenario.trace_builder is not None
+        else scenario
+        for scenario in scenarios
+    ]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_execute, shipped))

@@ -399,7 +399,16 @@ class TraceSet:
 
     def slice(self, start: int, stop: int) -> "TraceSet":
         """New TraceSet covering sample indices ``[start, stop)``."""
-        return TraceSet([trace.slice(start, stop) for trace in self])
+        if not 0 <= start < stop <= self.num_samples:
+            raise ValueError(
+                f"invalid slice [{start}, {stop}) for {self.num_samples} samples"
+            )
+        # Contiguous copy, frozen before handing over so from_matrix does
+        # not copy a second time.  (A strided view would also change the
+        # bit-level reduction order of downstream kernels.)
+        data = self._matrix[:, start:stop].copy()
+        data.flags.writeable = False
+        return TraceSet.from_matrix(data, self._names, self._period_s)
 
     def resampled(self, new_period_s: float) -> "TraceSet":
         """Average-preserving resample of every member."""
@@ -418,3 +427,37 @@ class TraceSet:
             UtilizationTrace(samples, period_s, name)
             for name, samples in samples_by_name.items()
         )
+
+    @classmethod
+    def from_matrix(
+        cls, matrix: np.ndarray, names: Sequence[str], period_s: float
+    ) -> "TraceSet":
+        """Build a TraceSet directly from a ``(num_traces, samples)`` matrix.
+
+        The fast internal constructor: skips the per-trace object round
+        trip (and its per-row finite/negative re-validation) for data that
+        is already a validated demand matrix — the replay engine slices
+        windows out of an existing TraceSet every period, and the
+        per-trace path dominated its profile.  The matrix is copied only
+        if it is writeable.
+        """
+        data = np.asarray(matrix, dtype=float)
+        if data.ndim != 2:
+            raise ValueError(f"matrix must be 2-D, got shape {data.shape}")
+        names = tuple(str(n) for n in names)
+        if data.shape[0] != len(names):
+            raise ValueError(f"{data.shape[0]} rows for {len(names)} names")
+        if len(set(names)) != len(names) or any(not n for n in names):
+            raise ValueError("trace names must be unique and non-empty")
+        if data.shape[1] == 0:
+            raise ValueError("a trace needs at least one sample")
+        if period_s <= 0:
+            raise ValueError(f"sampling period must be positive, got {period_s}")
+        if data.flags.writeable:
+            data = data.copy()
+            data.flags.writeable = False
+        instance = cls.__new__(cls)
+        instance._names = names
+        instance._matrix = data
+        instance._period_s = float(period_s)
+        return instance

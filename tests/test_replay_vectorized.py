@@ -1,0 +1,323 @@
+"""Equivalence tests: the fleet-vectorized replay engine vs the old loop.
+
+The vectorized engine must be a pure performance change: on any input it
+has to reproduce the ``ReplayResult`` of the per-server/per-level Python
+loop it replaced *bit-exactly* — energy, violation matrix, residency
+counts, migrations, placements.  ``_reference_replay`` below is a
+faithful transcription of that pre-vectorization engine: the grouped
+``reduceat`` demand gather (verbatim — ``reduceat``'s accumulation order
+differs from a plain ``sum(axis=0)`` in the last bit, and is part of the
+baseline being reproduced), scalar ``quantize_up`` per DVFS interval,
+per-server frequency series, and per-level masked power sums in the
+original accumulation order.  The tests drive both engines over
+randomized instances in every DVFS mode, with and without the oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.infrastructure.dvfs import FrequencyLadder, UtilizationTrackingPolicy
+from repro.infrastructure.server import XEON_E5410, ServerSpec
+from repro.sim.approaches import BfdApproach, PcpApproach, ProposedApproach
+from repro.sim.engine import ReplayConfig, replay
+from repro.sim.metrics import FrequencyResidency, period_violation_ratio
+from repro.sim.results import ReplayResult
+from repro.traces.trace import TraceSet, UtilizationTrace
+
+
+def _reference_period_frequencies(
+    demand: np.ndarray,
+    static_freq_ghz: float,
+    spec: ServerSpec,
+    config: ReplayConfig,
+    policy: UtilizationTrackingPolicy,
+) -> np.ndarray:
+    """Pre-vectorization engine: per-sample frequency series, one server."""
+    samples = demand.size
+    freqs = np.full(samples, static_freq_ghz, dtype=float)
+    if config.dvfs_mode == "static":
+        return freqs
+    ladder = spec.ladder
+    interval = config.dvfs_interval_samples
+    for start in range(interval, samples, interval):
+        window = demand[start - interval : start]
+        chosen = policy.choose(window, ladder, spec.n_cores)
+        freqs[start : start + interval] = chosen
+    return freqs
+
+
+def _reference_replay(
+    fine_traces: TraceSet,
+    spec: ServerSpec,
+    num_servers: int,
+    approach,
+    config: ReplayConfig,
+) -> ReplayResult:
+    """Faithful transcription of the pre-vectorization accounting loop."""
+    samples_per_period = int(round(config.tperiod_s / fine_traces.period_s))
+    total_periods = fine_traces.num_samples // samples_per_period
+
+    approach.reset()
+    policy = UtilizationTrackingPolicy(config.dvfs_interval_samples, config.dvfs_headroom)
+    ladder = spec.ladder
+
+    measured_periods = total_periods - 1
+    violation = np.zeros((measured_periods, num_servers), dtype=float)
+    residency = FrequencyResidency(num_servers, ladder.levels_ghz)
+    energy_j = 0.0
+    migrations = 0
+    active_counts: list[int] = []
+    placements: list = []
+    infos: list = []
+    previous_placement = None
+
+    name_to_row = {name: i for i, name in enumerate(fine_traces.names)}
+    matrix = fine_traces.matrix
+
+    for period in range(1, total_periods):
+        window = fine_traces.slice(
+            (period - 1) * samples_per_period, period * samples_per_period
+        )
+        if config.oracle and hasattr(approach, "prime_oracle"):
+            upcoming = fine_traces.slice(
+                period * samples_per_period, (period + 1) * samples_per_period
+            )
+            approach.prime_oracle(upcoming.references())
+        decision = approach.decide(window)
+        placement = decision.placement
+        placements.append(placement)
+        infos.append(dict(decision.info))
+        migrations += placement.migrations_from(previous_placement)
+        previous_placement = placement
+        active_counts.append(placement.num_active_servers)
+
+        start = period * samples_per_period
+        stop = start + samples_per_period
+        by_server = placement.by_server()
+        # The replaced engine's demand gather, verbatim (reduceat has its
+        # own accumulation order; anything else can differ in the last bit).
+        server_demand = np.zeros((num_servers, samples_per_period), dtype=float)
+        vm_rows = np.array([name_to_row[vm] for vm in placement.vm_ids], dtype=np.intp)
+        server_rows = np.array(
+            [placement.server_of(vm) for vm in placement.vm_ids], dtype=np.intp
+        )
+        if vm_rows.size:
+            grouping = np.argsort(server_rows, kind="stable")
+            sorted_servers = server_rows[grouping]
+            group_starts = np.flatnonzero(np.r_[True, np.diff(sorted_servers) > 0])
+            server_demand[sorted_servers[group_starts]] = np.add.reduceat(
+                matrix[vm_rows[grouping], start:stop], group_starts, axis=0
+            )
+        for server_index in range(num_servers):
+            members = by_server.get(server_index, ())
+            if not members:
+                residency.record(
+                    server_index, ladder.fmax_ghz, samples_per_period, active=False
+                )
+                continue
+            demand = server_demand[server_index]
+            setting = decision.frequencies.get(server_index)
+            static_freq = setting.freq_ghz if setting is not None else ladder.fmax_ghz
+            freqs = _reference_period_frequencies(demand, static_freq, spec, config, policy)
+
+            capacity = spec.n_cores * freqs / spec.fmax_ghz
+            violation[period - 1, server_index] = period_violation_ratio(demand, capacity)
+
+            for level in ladder.levels_ghz:
+                mask = freqs == level
+                count = int(mask.sum())
+                if count == 0:
+                    continue
+                residency.record(server_index, level, count, active=True)
+                busy = np.minimum(
+                    demand[mask] / (spec.n_cores * level / spec.fmax_ghz), 1.0
+                )
+                idle_w = spec.power_model.idle_power_w(level)
+                busy_w = spec.power_model.busy_power_w(level)
+                power = idle_w + (busy_w - idle_w) * busy
+                energy_j += float(power.sum()) * fine_traces.period_s
+
+    duration_s = measured_periods * samples_per_period * fine_traces.period_s
+    return ReplayResult(
+        approach_name=approach.name,
+        period_s=config.tperiod_s,
+        samples_per_period=samples_per_period,
+        violation_ratio=violation,
+        energy_j=energy_j,
+        avg_power_w=energy_j / duration_s,
+        residency=residency,
+        placements=tuple(placements),
+        migrations=migrations,
+        mean_active_servers=float(np.mean(active_counts)),
+        info_per_period=tuple(infos),
+    )
+
+
+def _random_traces(seed: int, num_vms: int = 12, periods: int = 4, spp: int = 96) -> TraceSet:
+    """A spiky, partially-correlated random population."""
+    rng = np.random.default_rng(seed)
+    n = periods * spp
+    traces = []
+    for i in range(num_vms):
+        base = rng.uniform(0.2, 2.0)
+        burst = rng.uniform(0.2, 1.5) * np.abs(
+            np.sin(np.linspace(0.0, rng.uniform(2.0, 9.0), n) + rng.uniform(0.0, 6.0))
+        )
+        noise = rng.normal(0.0, 0.1, n)
+        traces.append(
+            UtilizationTrace(np.clip(base + burst + noise, 0.0, 4.0), 5.0, f"vm{i:02d}")
+        )
+    return TraceSet(traces)
+
+
+def _assert_bit_identical(new: ReplayResult, old: ReplayResult, num_servers: int) -> None:
+    assert new.approach_name == old.approach_name
+    assert new.energy_j == old.energy_j, (
+        f"energy diverged by {new.energy_j - old.energy_j!r} J"
+    )
+    assert new.avg_power_w == old.avg_power_w
+    assert np.array_equal(new.violation_ratio, old.violation_ratio)
+    assert new.migrations == old.migrations
+    assert new.mean_active_servers == old.mean_active_servers
+    for server in range(num_servers):
+        assert new.residency.counts(server) == old.residency.counts(server)
+        assert new.residency.inactive(server) == old.residency.inactive(server)
+    assert [dict(p.assignment) for p in new.placements] == [
+        dict(p.assignment) for p in old.placements
+    ]
+    assert new.info_per_period == old.info_per_period
+
+
+APPROACHES = {
+    "bfd": BfdApproach,
+    "pcp": PcpApproach,
+    "proposed": ProposedApproach,
+}
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("dvfs_mode", ["static", "dynamic"])
+@pytest.mark.parametrize("approach_key", sorted(APPROACHES))
+def test_vectorized_replay_matches_seed_engine(seed, dvfs_mode, approach_key):
+    traces = _random_traces(seed)
+    cls = APPROACHES[approach_key]
+    config = ReplayConfig(tperiod_s=480.0, dvfs_mode=dvfs_mode, dvfs_interval_samples=12)
+    new = replay(
+        traces, XEON_E5410, 8, cls(8, (2.0, 2.3), max_servers=8, default_reference=4.0), config
+    )
+    old = _reference_replay(
+        traces, XEON_E5410, 8, cls(8, (2.0, 2.3), max_servers=8, default_reference=4.0), config
+    )
+    _assert_bit_identical(new, old, 8)
+
+
+@pytest.mark.parametrize("dvfs_mode", ["static", "dynamic"])
+@pytest.mark.parametrize("approach_key", sorted(APPROACHES))
+def test_vectorized_replay_matches_with_oracle(dvfs_mode, approach_key):
+    traces = _random_traces(7)
+    cls = APPROACHES[approach_key]
+    config = ReplayConfig(
+        tperiod_s=480.0, dvfs_mode=dvfs_mode, dvfs_interval_samples=12, oracle=True
+    )
+    new = replay(
+        traces, XEON_E5410, 8, cls(8, (2.0, 2.3), max_servers=8, default_reference=4.0), config
+    )
+    old = _reference_replay(
+        traces, XEON_E5410, 8, cls(8, (2.0, 2.3), max_servers=8, default_reference=4.0), config
+    )
+    _assert_bit_identical(new, old, 8)
+
+
+def test_vectorized_replay_matches_with_headroom_and_odd_interval():
+    """Partial trailing DVFS interval + headroom > 1 (non-default knobs)."""
+    traces = _random_traces(11, num_vms=9, periods=3, spp=100)
+    config = ReplayConfig(
+        tperiod_s=500.0, dvfs_mode="dynamic", dvfs_interval_samples=7, dvfs_headroom=1.3
+    )
+    new = replay(
+        traces, XEON_E5410, 6,
+        BfdApproach(8, (2.0, 2.3), max_servers=6, default_reference=4.0), config,
+    )
+    old = _reference_replay(
+        traces, XEON_E5410, 6,
+        BfdApproach(8, (2.0, 2.3), max_servers=6, default_reference=4.0), config,
+    )
+    _assert_bit_identical(new, old, 6)
+
+
+class TestVectorizedKernels:
+    """The batched DVFS primitives against their scalar counterparts."""
+
+    def test_quantize_up_array_matches_scalar(self):
+        ladder = FrequencyLadder((1.2, 1.8, 2.0, 2.3))
+        rng = np.random.default_rng(3)
+        targets = np.concatenate(
+            [
+                rng.uniform(-1.0, 4.0, 500),
+                np.array([0.0, 1.2, 1.8, 2.0, 2.3, 2.31, np.inf, -np.inf, np.nan]),
+            ]
+        )
+        batched = ladder.quantize_up_array(targets)
+        scalar = np.array([ladder.quantize_up(t) for t in targets])
+        assert np.array_equal(batched, scalar)
+
+    def test_choose_series_matches_scalar_loop(self):
+        ladder = FrequencyLadder((2.0, 2.3))
+        policy = UtilizationTrackingPolicy(interval_samples=12, headroom=1.1)
+        rng = np.random.default_rng(5)
+        demand = rng.uniform(0.0, 10.0, size=(7, 100))
+        static = rng.choice([2.0, 2.3], size=7)
+        series = policy.choose_series(demand, ladder, 8, static)
+        for row in range(7):
+            expected = np.full(100, static[row])
+            for start_index in range(12, 100, 12):
+                chosen = policy.choose(demand[row, start_index - 12 : start_index], ladder, 8)
+                expected[start_index : start_index + 12] = chosen
+            assert np.array_equal(series[row], expected)
+
+    def test_power_table_matches_scalar_lookups(self):
+        model = XEON_E5410.power_model
+        idle, busy = model.power_table(np.array([2.0, 2.3, 2.0]))
+        assert idle.tolist() == [
+            model.idle_power_w(2.0), model.idle_power_w(2.3), model.idle_power_w(2.0)
+        ]
+        assert busy.tolist() == [
+            model.busy_power_w(2.0), model.busy_power_w(2.3), model.busy_power_w(2.0)
+        ]
+        with pytest.raises(ValueError, match="not an operating point"):
+            model.power_table(np.array([2.1]))
+
+    def test_index_array_rejects_off_ladder(self):
+        ladder = FrequencyLadder((2.0, 2.3))
+        assert ladder.index_array(np.array([2.0, 2.3, 2.0])).tolist() == [0, 1, 0]
+        with pytest.raises(ValueError, match="not a ladder level"):
+            ladder.index_array(np.array([2.1]))
+
+    def test_record_matrix_matches_scalar_records(self):
+        bulk = FrequencyResidency(4, (2.0, 2.3))
+        scalar = FrequencyResidency(4, (2.0, 2.3))
+        counts = np.array([[5, 7], [0, 12]], dtype=np.int64)
+        bulk.record_matrix(
+            counts,
+            server_indices=np.array([1, 3]),
+            inactive_samples=12,
+            inactive_indices=np.array([0, 2]),
+        )
+        scalar.record(1, 2.0, 5, active=True)
+        scalar.record(1, 2.3, 7, active=True)
+        scalar.record(3, 2.3, 12, active=True)
+        scalar.record(0, 2.3, 12, active=False)
+        scalar.record(2, 2.3, 12, active=False)
+        for server in range(4):
+            assert bulk.counts(server) == scalar.counts(server)
+            assert bulk.inactive(server) == scalar.inactive(server)
+        assert bulk.merged() == scalar.merged()
+
+    def test_record_matrix_validates(self):
+        residency = FrequencyResidency(2, (2.0, 2.3))
+        with pytest.raises(ValueError, match="non-negative"):
+            residency.record_matrix(np.array([[-1, 0], [0, 0]]))
+        with pytest.raises(ValueError, match="level_counts"):
+            residency.record_matrix(np.zeros((2, 3), dtype=np.int64))

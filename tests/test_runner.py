@@ -1,0 +1,214 @@
+"""Tests for the declarative scenario-sweep runner (repro.sim.runner)."""
+
+from __future__ import annotations
+
+import pickle
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.infrastructure.server import XEON_E5410
+from repro.sim.approaches import BfdApproach, ProposedApproach
+from repro.sim.engine import ReplayConfig, replay
+from repro.sim.runner import Scenario, default_workers, run_scenarios
+from repro.traces.trace import TraceSet, UtilizationTrace
+
+
+def _traces(seed: int = 0, num_vms: int = 6, periods: int = 3, spp: int = 60) -> TraceSet:
+    rng = np.random.default_rng(seed)
+    n = periods * spp
+    return TraceSet(
+        UtilizationTrace(rng.uniform(0.2, 3.5, n), 5.0, f"vm{i}") for i in range(num_vms)
+    )
+
+
+def build_population(seed: int) -> TraceSet:
+    """Module-level builder so scenarios remain picklable."""
+    return _traces(seed)
+
+
+def _bfd_factory(max_servers: int = 6):
+    return partial(BfdApproach, 8, (2.0, 2.3), max_servers=max_servers, default_reference=4.0)
+
+
+def _scenario(name: str, **overrides) -> Scenario:
+    params = dict(
+        name=name,
+        approach_factory=_bfd_factory(),
+        spec=XEON_E5410,
+        num_servers=6,
+        replay=ReplayConfig(tperiod_s=300.0),
+        traces=_traces(),
+    )
+    params.update(overrides)
+    return Scenario(**params)
+
+
+class TestScenario:
+    def test_requires_a_trace_source(self):
+        with pytest.raises(ValueError, match="trace"):
+            _scenario("neither", traces=None)
+        # Both at once is the efficient shape: pinned traces in-process,
+        # builder for pool workers.
+        both = _scenario("both", trace_builder=partial(build_population, 1))
+        assert both.traces is not None and both.trace_builder is not None
+
+    def test_requires_name_and_servers(self):
+        with pytest.raises(ValueError, match="name"):
+            _scenario("")
+        with pytest.raises(ValueError, match="server"):
+            _scenario("s", num_servers=0)
+
+    def test_with_traces_pins_population(self):
+        scenario = _scenario("s", traces=None, trace_builder=partial(build_population, 3))
+        pinned = scenario.with_traces(_traces(3))
+        assert pinned.trace_builder is None
+        assert pinned.traces is not None
+
+    def test_scenario_is_picklable(self):
+        scenario = _scenario("s")
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone.name == "s"
+        assert clone.traces.num_traces == scenario.traces.num_traces
+
+    def test_replay_result_round_trips_through_pickle(self):
+        """Results (incl. mappingproxy-backed placements) cross process pipes."""
+        traces = _traces()
+        result = replay(
+            traces, XEON_E5410, 6,
+            BfdApproach(8, (2.0, 2.3), max_servers=6, default_reference=4.0),
+            ReplayConfig(tperiod_s=300.0),
+        )
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.energy_j == result.energy_j
+        assert np.array_equal(clone.violation_ratio, result.violation_ratio)
+        assert [dict(p.assignment) for p in clone.placements] == [
+            dict(p.assignment) for p in result.placements
+        ]
+        assert clone.residency.merged() == result.residency.merged()
+
+
+class TestRunScenarios:
+    def test_results_in_scenario_order_with_name_overrides(self):
+        traces = _traces()
+        scenarios = [
+            _scenario("first", traces=traces, approach_name="renamed"),
+            _scenario("second", traces=traces),
+        ]
+        results = run_scenarios(scenarios)
+        assert [r.approach_name for r in results] == ["renamed", "BFD"]
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_scenarios([_scenario("twin"), _scenario("twin")])
+
+    def test_empty_sweep(self):
+        assert run_scenarios([]) == []
+
+    def test_trace_builder_used_and_memoized(self):
+        scenarios = [
+            _scenario("a", traces=None, trace_builder=partial(build_population, 5)),
+            _scenario("b", traces=None, trace_builder=partial(build_population, 5)),
+        ]
+        results = run_scenarios(scenarios)
+        assert results[0].energy_j == results[1].energy_j
+
+    def test_matches_direct_replay(self):
+        traces = _traces(2)
+        [swept] = run_scenarios([_scenario("direct", traces=traces)])
+        direct = replay(
+            traces, XEON_E5410, 6,
+            BfdApproach(8, (2.0, 2.3), max_servers=6, default_reference=4.0),
+            ReplayConfig(tperiod_s=300.0),
+        )
+        assert swept.energy_j == direct.energy_j
+        assert np.array_equal(swept.violation_ratio, direct.violation_ratio)
+
+    def test_pool_regenerates_from_builder(self):
+        """With traces AND a builder, the pool path (which ships only the
+        builder) reproduces the pinned-traces serial result exactly."""
+        scenarios = [
+            _scenario("pinned+builder", traces=_traces(6),
+                      trace_builder=partial(build_population, 6)),
+            _scenario("other", traces=_traces(8),
+                      trace_builder=partial(build_population, 8)),
+        ]
+        serial = run_scenarios(scenarios, workers=1)
+        parallel = run_scenarios(scenarios, workers=2)
+        for left, right in zip(serial, parallel):
+            assert left.energy_j == right.energy_j
+            assert np.array_equal(left.violation_ratio, right.violation_ratio)
+
+    def test_pool_detects_stale_builder(self):
+        """A builder that no longer reproduces the pinned traces fails
+        loudly in the pool path instead of silently diverging."""
+        scenarios = [
+            _scenario("stale", traces=_traces(6),
+                      trace_builder=partial(build_population, 7)),
+            _scenario("ok", traces=_traces(8),
+                      trace_builder=partial(build_population, 8)),
+        ]
+        with pytest.raises(ValueError, match="different"):
+            run_scenarios(scenarios, workers=2)
+
+    def test_parallel_matches_serial(self):
+        """Process-pool execution returns bit-identical results in order."""
+        traces = _traces(4)
+        scenarios = [
+            _scenario("bfd", traces=traces),
+            Scenario(
+                name="proposed",
+                approach_factory=partial(
+                    ProposedApproach, 8, (2.0, 2.3), max_servers=6, default_reference=4.0
+                ),
+                spec=XEON_E5410,
+                num_servers=6,
+                replay=ReplayConfig(tperiod_s=300.0, dvfs_mode="dynamic"),
+                traces=traces,
+            ),
+            _scenario("built", traces=None, trace_builder=partial(build_population, 4)),
+        ]
+        serial = run_scenarios(scenarios, workers=1)
+        parallel = run_scenarios(scenarios, workers=2)
+        assert len(serial) == len(parallel) == 3
+        for left, right in zip(serial, parallel):
+            assert left.approach_name == right.approach_name
+            assert left.energy_j == right.energy_j
+            assert np.array_equal(left.violation_ratio, right.violation_ratio)
+            assert left.residency.merged() == right.residency.merged()
+            assert left.migrations == right.migrations
+
+    def test_unpicklable_sweep_falls_back_to_serial(self):
+        traces = _traces(1)
+        scenarios = [
+            _scenario(
+                "lambda-factory",
+                traces=traces,
+                approach_factory=lambda: BfdApproach(
+                    8, (2.0, 2.3), max_servers=6, default_reference=4.0
+                ),
+            ),
+            _scenario("plain", traces=traces),
+        ]
+        with pytest.warns(RuntimeWarning, match="falling back to"):
+            results = run_scenarios(scenarios, workers=2)
+        assert [r.approach_name for r in results] == ["BFD", "BFD"]
+
+
+class TestDefaultWorkers:
+    def test_unset_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        assert default_workers() == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_zero_means_cpu_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "0")
+        assert default_workers() >= 1
+
+    def test_garbage_is_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "many")
+        assert default_workers() == 1
