@@ -13,15 +13,19 @@ times the three hot paths at N ∈ {40, 200, 1000}:
 plus an end-to-end *replay gate*: a full trace replay (placement +
 per-period accounting) of a 1000-VM / 125-server fleet through the
 fleet-vectorized engine, in both DVFS modes, gated on per-period wall
-time.
+time; a *synthesis gate*: coarse-to-fine population refinement at
+N=1000 under the legacy (v1) and batched (v2) RNG stream layouts, gated
+on the v2 speedup; and an *allocate-sweep gate*: repeated per-period
+allocations through one allocator (reindex cache warm, a few cost rows
+changing per period), gated on per-period wall time.
 
 Results are persisted to ``BENCH_scaling.json`` (via the
 ``bench_json_merge`` fixture) so the numbers travel with the PR, and
-three hard gates encode
-the acceptance bar: the 1000-VM streaming update stays under 50 ms per
-sample, peak-mode streaming stays bit-exact against the exact matrix at
-every size, and the 1000-VM dynamic-mode replay stays under the
-per-period budget.
+the hard gates encode the acceptance bar: the 1000-VM streaming update
+stays under 50 ms per sample, peak-mode streaming stays bit-exact
+against the exact matrix at every size, the 1000-VM dynamic-mode replay
+stays under the per-period budget, v2 synthesis beats v1 by the gated
+factor, and the warm cross-period allocate stays under its budget.
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ from repro.core.correlation import CostMatrix, StreamingCostMatrix
 from repro.infrastructure.server import XEON_E5410
 from repro.sim.approaches import BfdApproach
 from repro.sim.engine import ReplayConfig, replay
+from repro.traces.synthesis import refine_trace_set
 from repro.traces.trace import TraceSet, UtilizationTrace
 
 SIZES = (40, 200, 1000)
@@ -46,6 +51,16 @@ REPLAY_VMS = 1000
 REPLAY_SERVERS = 125
 REPLAY_PERIODS = 3  # 1 warm-up + 2 measured
 REPLAY_BUDGET_MS_PER_PERIOD = 30.0
+
+SYNTHESIS_VMS = 1000
+SYNTHESIS_WINDOWS = 288          # 24 h of 5-minute monitoring samples
+SYNTHESIS_FINE_PERIOD_S = 5.0
+SYNTHESIS_SIGMA = 0.35
+SYNTHESIS_MIN_SPEEDUP = 2.0
+
+SWEEP_VMS = 1000
+SWEEP_PERIODS = 4
+SWEEP_BUDGET_MS_PER_PERIOD = 100.0
 
 
 def _fleet(n: int) -> TraceSet:
@@ -198,6 +213,123 @@ def test_replay_gate(report, bench_json_merge):
     assert per_period < REPLAY_BUDGET_MS_PER_PERIOD, (
         f"1000-VM dynamic replay took {per_period} ms per period, "
         f"budget is {REPLAY_BUDGET_MS_PER_PERIOD} ms"
+    )
+
+
+def test_synthesis_gate(report, bench_json_merge):
+    """Population refinement at N=1000: batched v2 layout vs legacy v1.
+
+    The ROADMAP targeted ~10x from vectorizing `refine_trace_set`; in
+    practice the legacy loop's cost is dominated by the very ziggurat +
+    exp work the batched kernel must also do (the per-window Python
+    overhead is only ~40% of v1), so the honest ceiling on this box is
+    ~2.5-3x.  The gate pins that down: v2 must beat v1 by at least
+    ``SYNTHESIS_MIN_SPEEDUP`` and stay seeded-deterministic.
+    """
+    rng = np.random.default_rng(SYNTHESIS_VMS)
+    matrix = rng.uniform(0.05, 3.5, size=(SYNTHESIS_VMS, SYNTHESIS_WINDOWS))
+    matrix.flags.writeable = False
+    coarse = TraceSet.from_matrix(
+        matrix, [f"vm{i:04d}" for i in range(SYNTHESIS_VMS)], 300.0
+    )
+
+    def _build(layout: str) -> TraceSet:
+        return refine_trace_set(
+            coarse,
+            SYNTHESIS_FINE_PERIOD_S,
+            sigma=SYNTHESIS_SIGMA,
+            rng=np.random.default_rng(1),
+            cap=4.0,
+            stream_layout=layout,
+        )
+
+    v1_ms = _time_ms(lambda: _build("v1"), 3)
+    v2_ms = _time_ms(lambda: _build("v2"), 3)
+    speedup = v1_ms / v2_ms
+
+    # Determinism probe: the same seed must reproduce the v2 population
+    # exactly (the layout is a versioned contract, not an implementation
+    # detail).
+    assert np.array_equal(_build("v2").matrix, _build("v2").matrix)
+
+    payload = {
+        "vms": SYNTHESIS_VMS,
+        "coarse_windows": SYNTHESIS_WINDOWS,
+        "fine_period_s": SYNTHESIS_FINE_PERIOD_S,
+        "sigma": SYNTHESIS_SIGMA,
+        "v1_ms": round(v1_ms, 3),
+        "v2_ms": round(v2_ms, 3),
+        "speedup": round(speedup, 2),
+        "min_speedup": SYNTHESIS_MIN_SPEEDUP,
+    }
+    path = bench_json_merge("scaling", "synthesis", payload)
+    report(
+        f"population build at N={SYNTHESIS_VMS}: v1 {v1_ms:.1f} ms, "
+        f"v2 {v2_ms:.1f} ms ({speedup:.1f}x)\npersisted to {path}"
+    )
+    assert speedup >= SYNTHESIS_MIN_SPEEDUP, (
+        f"v2 synthesis only {speedup:.2f}x faster than v1 at N={SYNTHESIS_VMS}, "
+        f"gate is {SYNTHESIS_MIN_SPEEDUP}x"
+    )
+
+
+def test_allocate_sweep_gate(report, bench_json_merge):
+    """Warm cross-period ALLOCATE at N=1000 stays under the sweep budget.
+
+    One allocator drives several consecutive periods over a cost matrix
+    where only a few rows move per period — the streaming deployment
+    shape.  This exercises the whole PR-3 sweep stack (per-bin cost
+    caching, batched TH-level degeneration, reindex-cache row reuse) and
+    pins the per-period wall clock; a cold first call is reported
+    alongside for the cache-free reference.
+    """
+    rng = np.random.default_rng(SWEEP_VMS)
+    fleet = _fleet(SWEEP_VMS)
+    matrix = CostMatrix.from_traces(fleet)
+    refs = matrix.references()
+    names = list(fleet.names)
+    array = matrix.as_array().copy()
+    allocator = CorrelationAwareAllocator()
+
+    def _allocate(active: CorrelationAwareAllocator):
+        return active.allocate(
+            names, refs, None, 8, cost_array=array, name_index=matrix.name_index
+        )
+
+    cold_ms = _time_ms(lambda: _allocate(CorrelationAwareAllocator()), 3)
+    _allocate(allocator)  # warm the reindex cache
+
+    warm_times = []
+    for _ in range(SWEEP_PERIODS):
+        # Perturb a handful of rows/columns symmetrically, like a peak
+        # update touching a few VMs between periods.
+        for i in rng.integers(0, SWEEP_VMS, size=5):
+            array[i, :] *= 1.001
+            array[:, i] = array[i, :]
+            array[i, i] = 1.0
+        start = time.perf_counter()
+        warm = _allocate(allocator)
+        warm_times.append((time.perf_counter() - start) * 1e3)
+        # Reuse must never change the placement.
+        cold = _allocate(CorrelationAwareAllocator())
+        assert dict(warm.assignment) == dict(cold.assignment)
+
+    warm_ms = min(warm_times)
+    payload = {
+        "vms": SWEEP_VMS,
+        "periods": SWEEP_PERIODS,
+        "cold_ms": round(cold_ms, 3),
+        "warm_ms": round(warm_ms, 3),
+        "budget_ms_per_period": SWEEP_BUDGET_MS_PER_PERIOD,
+    }
+    path = bench_json_merge("scaling", "allocate_sweep", payload)
+    report(
+        f"cross-period allocate at N={SWEEP_VMS}: cold {cold_ms:.1f} ms, "
+        f"warm {warm_ms:.1f} ms per period\npersisted to {path}"
+    )
+    assert warm_ms < SWEEP_BUDGET_MS_PER_PERIOD, (
+        f"warm 1000-VM allocate took {warm_ms:.1f} ms, "
+        f"budget is {SWEEP_BUDGET_MS_PER_PERIOD} ms"
     )
 
 

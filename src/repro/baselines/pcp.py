@@ -211,53 +211,73 @@ def peak_clustering_placement(
         for vm in cluster
     }
 
-    committed: list[float] = []                     # per-server sum of off-peak refs
-    excursions: list[dict[int, float]] = []         # per-server per-cluster excursion sums
+    # Best-fit-with-buffer over dense server-state vectors: per open
+    # server a committed off-peak sum and a per-cluster excursion row.
+    # Each VM's candidate scan is a handful of array ops over the open
+    # servers — the prospective buffer (its own cluster's column bumped
+    # by the VM's excursion, maxed against the worst other cluster), the
+    # headroom ``left``, and a first-minimum argmin for the best-fit
+    # choice (ties break to the lowest server index, exactly like the
+    # scalar scan it replaced).  Absent clusters hold 0.0 in the dense
+    # rows, which cannot win a max against the candidate's own
+    # non-negative column, so dense and sparse buffers agree.
+    num_clusters = len(clusters)
+    server_cap = 8
+    committed = np.zeros(server_cap)             # per-server sum of off-peak refs
+    excursions = np.zeros((server_cap, num_clusters))  # per-server per-cluster sums
+    num_open = 0
     members: list[list[str]] = []
     assignment: dict[str, int] = {}
-
-    def buffer_with(index: int, cluster_index: int, extra: float) -> float:
-        """Server buffer if ``extra`` excursion joined ``cluster_index``."""
-        worst = extra + excursions[index].get(cluster_index, 0.0)
-        for other_cluster, total in excursions[index].items():
-            if other_cluster != cluster_index and total > worst:
-                worst = total
-        return worst
 
     for vm in order:
         demand = offpeak[vm]
         excursion = peak[vm] - offpeak[vm]
         cluster_index = cluster_of[vm]
         best_index: int | None = None
-        best_left = float("inf")
-        for index in range(len(committed)):
-            new_buffer = buffer_with(index, cluster_index, excursion)
-            left = capacity - (committed[index] + demand + new_buffer)
-            if left >= -1e-12 and left < best_left:
-                best_left = left
-                best_index = index
+        if num_open:
+            own = excursions[:num_open, cluster_index]
+            if num_clusters > 1:
+                # Worst other-cluster excursion per server: mask the
+                # candidate's own column out of the row max (restored
+                # right after — cheaper than copying the whole block).
+                saved = own.copy()
+                excursions[:num_open, cluster_index] = -np.inf
+                others = excursions[:num_open].max(axis=1)
+                excursions[:num_open, cluster_index] = saved
+            else:
+                others = np.zeros(num_open)
+            new_buffer = np.maximum(excursion + own, others)
+            left = capacity - (committed[:num_open] + demand + new_buffer)
+            feasible = np.flatnonzero(left >= -1e-12)
+            if feasible.size:
+                best_index = int(feasible[np.argmin(left[feasible])])
         if best_index is None:
-            if max_servers is not None and len(committed) >= max_servers:
+            if max_servers is not None and num_open >= max_servers:
                 raise CapacityError(
                     f"PCP cannot place {vm} within {max_servers} servers "
                     f"of capacity {capacity}"
                 )
-            committed.append(0.0)
-            excursions.append({})
+            if num_open == server_cap:
+                server_cap *= 2
+                committed = np.concatenate([committed, np.zeros(num_open)])
+                excursions = np.concatenate(
+                    [excursions, np.zeros((num_open, num_clusters))]
+                )
             members.append([])
-            best_index = len(committed) - 1
+            best_index = num_open
+            num_open += 1
         committed[best_index] += demand
-        bucket = excursions[best_index]
-        bucket[cluster_index] = bucket.get(cluster_index, 0.0) + excursion
+        excursions[best_index, cluster_index] += excursion
         members[best_index].append(vm)
         assignment[vm] = best_index
 
-    num_servers = max_servers if max_servers is not None else max(1, len(committed))
+    num_servers = max_servers if max_servers is not None else max(1, num_open)
     placement = Placement(assignment, num_servers=num_servers)
     # Feasibility here is off-peak + shared buffer, not the plain sum of
-    # peaks: validate against the PCP invariant explicitly.
+    # peaks: validate against the PCP invariant explicitly (re-summing
+    # the off-peak refs independently of the committed vector).
     for index, vms in enumerate(members):
-        buffer = max(excursions[index].values(), default=0.0)
+        buffer = float(excursions[index].max(initial=0.0))
         total = sum(offpeak[vm] for vm in vms) + buffer
         if total > capacity * (1 + 1e-9):
             raise ValueError(

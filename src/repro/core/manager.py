@@ -163,5 +163,12 @@ class PowerManager:
         )
 
     def reset(self) -> None:
-        """Drop all accumulated history (fresh deployment)."""
+        """Drop all accumulated history (fresh deployment).
+
+        Also clears the allocator's cross-period reindex cache: the
+        cache is self-validating (a stale one can never change a
+        placement), but a fresh deployment should not pin the previous
+        population's O(N²) snapshot in memory.
+        """
         self._history.clear()
+        self._allocator.reset_cache()

@@ -37,13 +37,20 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Setup2Config:
-    """Full parameterisation of the Setup-2 evaluation."""
+    """Full parameterisation of the Setup-2 evaluation.
+
+    ``stream_layout`` selects the synthesis RNG stream version (see
+    :mod:`repro.traces.synthesis`): ``"v2"`` (the default) refines the
+    population in one batched draw; ``"v1"`` reproduces the byte-exact
+    populations of releases that predate the versioned layout.
+    """
 
     traces: DatacenterTraceConfig = field(default_factory=DatacenterTraceConfig)
     spec: ServerSpec = XEON_E5410
     num_servers: int = 20
     fine_period_s: float = 5.0
     synthesis_sigma: float = 0.04
+    stream_layout: str = "v2"
     tperiod_s: float = 3600.0
     dvfs_interval_samples: int = 12
     allocation: AllocationConfig = field(default_factory=AllocationConfig)
@@ -63,6 +70,7 @@ class Setup2Config:
             num_servers=10,
             fine_period_s=self.fine_period_s,
             synthesis_sigma=self.synthesis_sigma,
+            stream_layout=self.stream_layout,
             tperiod_s=self.tperiod_s,
             dvfs_interval_samples=self.dvfs_interval_samples,
             allocation=self.allocation,
@@ -95,6 +103,7 @@ def build_fine_traces(config: Setup2Config) -> TraceSet:
         sigma=config.synthesis_sigma,
         rng=rng,
         cap=config.traces.vm_core_cap,
+        stream_layout=config.stream_layout,
     )
 
 

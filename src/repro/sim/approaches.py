@@ -248,6 +248,7 @@ class ProposedApproach:
 
     def reset(self) -> None:
         self._refs.reset()
+        self._allocator.reset_cache()
         self._horizon_buffer = None
         self._horizon_filled = 0
         self._part_names = None

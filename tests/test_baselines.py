@@ -191,3 +191,117 @@ class TestPcpPlacement:
         peak = {name: 8.0 for name in four_vm_traces.names}
         with pytest.raises(CapacityError):
             peak_clustering_placement(four_vm_traces, offpeak, peak, 8, max_servers=2)
+
+
+class TestPcpVectorizedEquivalence:
+    """The array-based best-fit-with-buffer scan against its scalar
+    reference.
+
+    The transcription below is the per-VM / per-server Python loop the
+    vectorized placement replaced — including its sparse per-cluster
+    excursion dicts and its first-strict-minimum best-fit tie-break —
+    and the property test demands identical assignments on randomized
+    instances.
+    """
+
+    @staticmethod
+    def _scalar_reference(window, offpeak_refs, peak_refs, n_cores, config, max_servers):
+        from repro.baselines.pcp import cluster_by_envelope, _interleave
+
+        capacity = float(n_cores)
+        names = list(window.names)
+        offpeak = {
+            vm: min(max(float(offpeak_refs[vm]), 0.0), capacity) for vm in names
+        }
+        peak = {vm: min(max(float(peak_refs[vm]), 0.0), capacity) for vm in names}
+        for vm in names:
+            offpeak[vm] = min(offpeak[vm], peak[vm])
+        clusters = cluster_by_envelope(window, config)
+        order = _interleave(clusters, offpeak)
+        cluster_of = {
+            vm: index for index, cluster in enumerate(clusters) for vm in cluster
+        }
+
+        committed: list[float] = []
+        excursions: list[dict[int, float]] = []
+        assignment: dict[str, int] = {}
+
+        def buffer_with(index, cluster_index, extra):
+            worst = extra + excursions[index].get(cluster_index, 0.0)
+            for other_cluster, total in excursions[index].items():
+                if other_cluster != cluster_index and total > worst:
+                    worst = total
+            return worst
+
+        for vm in order:
+            demand = offpeak[vm]
+            excursion = peak[vm] - offpeak[vm]
+            cluster_index = cluster_of[vm]
+            best_index = None
+            best_left = float("inf")
+            for index in range(len(committed)):
+                new_buffer = buffer_with(index, cluster_index, excursion)
+                left = capacity - (committed[index] + demand + new_buffer)
+                if left >= -1e-12 and left < best_left:
+                    best_left = left
+                    best_index = index
+            if best_index is None:
+                if max_servers is not None and len(committed) >= max_servers:
+                    raise CapacityError("fleet bound")
+                committed.append(0.0)
+                excursions.append({})
+                best_index = len(committed) - 1
+            committed[best_index] += demand
+            bucket = excursions[best_index]
+            bucket[cluster_index] = bucket.get(cluster_index, 0.0) + excursion
+            assignment[vm] = best_index
+        return assignment
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=24),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=0.05, max_value=0.6),
+    )
+    def test_identical_assignments_on_random_instances(self, n, seed, overlap):
+        rng = np.random.default_rng(seed)
+        traces = TraceSet(
+            UtilizationTrace(rng.uniform(0.0, 4.0, size=30), 1.0, f"vm{i:03d}")
+            for i in range(n)
+        )
+        offpeak = {vm: float(rng.uniform(0.2, 5.0)) for vm in traces.names}
+        peak = {
+            vm: offpeak[vm] * float(rng.uniform(1.0, 1.8)) for vm in traces.names
+        }
+        config = PcpConfig(overlap_threshold=overlap)
+        result = peak_clustering_placement(traces, offpeak, peak, 8, config)
+        expected = self._scalar_reference(traces, offpeak, peak, 8, config, None)
+        assert dict(result.placement.assignment) == expected
+
+    def test_identical_under_fleet_bound(self, four_vm_traces):
+        offpeak = {name: 3.0 for name in four_vm_traces.names}
+        peak = {name: 5.0 for name in four_vm_traces.names}
+        config = PcpConfig(offpeak_percentile=50.0)
+        result = peak_clustering_placement(
+            four_vm_traces, offpeak, peak, 8, config, max_servers=3
+        )
+        expected = self._scalar_reference(
+            four_vm_traces, offpeak, peak, 8, config, 3
+        )
+        assert dict(result.placement.assignment) == expected
+
+    def test_server_array_growth_beyond_initial_capacity(self):
+        """More than the preallocated number of servers (one VM each)."""
+        rng = np.random.default_rng(0)
+        traces = TraceSet(
+            UtilizationTrace(rng.uniform(3.0, 4.0, size=20), 1.0, f"vm{i:03d}")
+            for i in range(12)
+        )
+        offpeak = {vm: 7.5 for vm in traces.names}
+        peak = {vm: 8.0 for vm in traces.names}
+        result = peak_clustering_placement(traces, offpeak, peak, 8)
+        expected = self._scalar_reference(
+            traces, offpeak, peak, 8, PcpConfig(), None
+        )
+        assert dict(result.placement.assignment) == expected
+        assert result.placement.num_active_servers == 12

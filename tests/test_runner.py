@@ -196,6 +196,65 @@ class TestRunScenarios:
         assert [r.approach_name for r in results] == ["BFD", "BFD"]
 
 
+class TestEdgeCases:
+    """Empty batches, explicit single workers, and the fingerprint
+    mismatch error path — exercised directly, without a process pool."""
+
+    def test_empty_sweep_with_workers_requested(self):
+        """An empty batch returns immediately even when a pool was asked
+        for (no executor is spun up for zero scenarios)."""
+        assert run_scenarios([], workers=4) == []
+
+    def test_explicit_single_worker_matches_default_serial(self):
+        traces = _traces(9)
+        scenarios = [_scenario("one", traces=traces), _scenario("two", traces=traces)]
+        explicit = run_scenarios(scenarios, workers=1)
+        default = run_scenarios(scenarios)
+        for left, right in zip(explicit, default):
+            assert left.energy_j == right.energy_j
+            assert np.array_equal(left.violation_ratio, right.violation_ratio)
+
+    def test_fingerprint_mismatch_raises_serially(self):
+        """The builder-verification error path does not need a pool: a
+        scenario carrying a stale fingerprint fails the in-process
+        build check with the diagnostic message."""
+        from dataclasses import replace
+
+        from repro.sim.runner import _fingerprint
+
+        pinned = _traces(6)
+        stale = replace(
+            _scenario("stale", traces=None, trace_builder=partial(build_population, 7)),
+            traces_fingerprint=_fingerprint(pinned),
+        )
+        with pytest.raises(ValueError, match="different.*population"):
+            run_scenarios([stale])
+
+    def test_matching_fingerprint_passes_serially(self):
+        from dataclasses import replace
+
+        from repro.sim.runner import _fingerprint
+
+        scenario = replace(
+            _scenario("fresh", traces=None, trace_builder=partial(build_population, 7)),
+            traces_fingerprint=_fingerprint(build_population(7)),
+        )
+        [result] = run_scenarios([scenario])
+        assert result.approach_name == "BFD"
+
+    def test_builder_memo_stays_bounded(self):
+        """The per-process trace memo evicts rather than growing without
+        bound across many distinct builders."""
+        from repro.sim import runner
+
+        scenarios = [
+            _scenario(f"s{seed}", traces=None, trace_builder=partial(build_population, seed))
+            for seed in range(10)
+        ]
+        run_scenarios(scenarios)
+        assert len(runner._TRACE_CACHE) <= 8
+
+
 class TestDefaultWorkers:
     def test_unset_is_serial(self, monkeypatch):
         monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)

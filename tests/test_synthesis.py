@@ -5,7 +5,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.traces.synthesis import refine_trace, refine_trace_set, synthesize_fine_grained
+import math
+
+from repro.traces.synthesis import (
+    STREAM_LAYOUTS,
+    refine_trace,
+    refine_trace_set,
+    synthesize_fine_grained,
+    synthesize_population,
+)
 from repro.traces.trace import TraceSet, UtilizationTrace
 
 
@@ -85,3 +93,147 @@ class TestRefineTrace:
         fine = refine_trace_set(coarse, 5.0, sigma=0.1, rng=rng)
         back = fine.resampled(300.0)
         assert np.allclose(back.matrix, coarse.matrix, rtol=0.15)
+
+
+class TestStreamLayouts:
+    """The versioned RNG stream-layout contract (v1 legacy / v2 batched)."""
+
+    def _coarse(self, num_vms: int = 5, windows: int = 8) -> TraceSet:
+        rng = np.random.default_rng(42)
+        return TraceSet(
+            UtilizationTrace(rng.uniform(0.0, 3.5, windows), 300.0, f"vm{i:02d}")
+            for i in range(num_vms)
+        )
+
+    def test_layout_registry(self):
+        assert STREAM_LAYOUTS == ("v1", "v2")
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError, match="stream_layout"):
+            synthesize_fine_grained([1.0], 10.0, 5.0, stream_layout="v3")
+        with pytest.raises(ValueError, match="stream_layout"):
+            refine_trace_set(self._coarse(), 5.0, stream_layout="legacy")
+
+    def test_v1_is_byte_identical_to_legacy_per_window_draws(self):
+        """The v1 layout must keep reproducing pre-versioning populations:
+        this transcribes the original per-window ``rng.lognormal`` loop
+        and demands exact equality, draw for draw."""
+        sigma = 0.3
+        means = np.array([0.8, 0.0, 2.5, 1.1])
+        factor = 6
+        ours = synthesize_fine_grained(
+            means, 30.0, 5.0, sigma=sigma, rng=np.random.default_rng(9),
+            stream_layout="v1",
+        )
+        rng = np.random.default_rng(9)
+        expected = np.empty(means.size * factor)
+        mu_shift = sigma * sigma / 2.0
+        for i, m in enumerate(means):
+            block = slice(i * factor, (i + 1) * factor)
+            if m <= 0.0:
+                expected[block] = 0.0
+                continue
+            expected[block] = rng.lognormal(
+                mean=math.log(m) - mu_shift, sigma=sigma, size=factor
+            )
+        assert np.array_equal(ours, expected)
+
+    def test_default_layout_is_v1(self):
+        coarse = self._coarse()
+        default = refine_trace_set(coarse, 5.0, rng=np.random.default_rng(3))
+        explicit = refine_trace_set(
+            coarse, 5.0, rng=np.random.default_rng(3), stream_layout="v1"
+        )
+        assert np.array_equal(default.matrix, explicit.matrix)
+
+    def test_v2_is_seeded_deterministic(self):
+        coarse = self._coarse()
+        a = refine_trace_set(
+            coarse, 5.0, rng=np.random.default_rng(7), stream_layout="v2"
+        )
+        b = refine_trace_set(
+            coarse, 5.0, rng=np.random.default_rng(7), stream_layout="v2"
+        )
+        assert np.array_equal(a.matrix, b.matrix)
+        assert a.names == coarse.names
+        assert a.period_s == 5.0
+
+    def test_v2_differs_from_v1_but_matches_statistically(self):
+        coarse = self._coarse(num_vms=10, windows=40)
+        v1 = refine_trace_set(
+            coarse, 5.0, sigma=0.2, rng=np.random.default_rng(5), stream_layout="v1"
+        )
+        v2 = refine_trace_set(
+            coarse, 5.0, sigma=0.2, rng=np.random.default_rng(5), stream_layout="v2"
+        )
+        assert not np.array_equal(v1.matrix, v2.matrix)
+        # Same distribution family and window means: coarse-grain both
+        # back and they reproduce the same coarse population.
+        assert np.allclose(
+            v1.resampled(300.0).matrix, v2.resampled(300.0).matrix, rtol=0.2, atol=0.05
+        )
+
+    def test_v2_single_trace_matches_population_row(self):
+        """A 1-VM population and the single-trace v2 helper consume the
+        stream identically."""
+        means = np.array([1.0, 0.5, 2.0])
+        single = synthesize_fine_grained(
+            means, 30.0, 5.0, sigma=0.4, rng=np.random.default_rng(11),
+            stream_layout="v2",
+        )
+        population = synthesize_population(
+            means[None, :], 30.0, 5.0, sigma=0.4, rng=np.random.default_rng(11)
+        )
+        assert np.array_equal(single, population[0])
+
+    def test_v2_zero_mean_windows_stay_zero_and_consume_draws(self):
+        means = np.array([[0.0, 1.0], [2.0, 0.0]])
+        fine = synthesize_population(
+            means, 10.0, 5.0, sigma=0.5, rng=np.random.default_rng(2)
+        )
+        assert np.array_equal(fine[0, :2], [0.0, 0.0])
+        assert np.array_equal(fine[1, 2:], [0.0, 0.0])
+        assert np.all(fine[0, 2:] > 0) and np.all(fine[1, :2] > 0)
+        # The zero windows still consumed stream positions: a population
+        # without them produces different draws for the live cells.
+        alive = synthesize_population(
+            means[:1, 1:], 10.0, 5.0, sigma=0.5, rng=np.random.default_rng(2)
+        )
+        assert not np.array_equal(fine[0, 2:], alive[0])
+
+    def test_v2_statistical_mean_preservation(self):
+        means = np.full((3, 50), 3.0)
+        fine = synthesize_population(
+            means, 300.0, 5.0, sigma=0.3, rng=np.random.default_rng(8)
+        )
+        assert fine.mean() == pytest.approx(3.0, rel=0.05)
+
+    def test_v2_exact_mean_matching(self):
+        means = np.array([[2.0, 5.0]])
+        fine = synthesize_population(
+            means, 300.0, 5.0, rng=np.random.default_rng(4), match_means_exactly=True
+        )
+        assert fine[0, :60].mean() == pytest.approx(2.0)
+        assert fine[0, 60:].mean() == pytest.approx(5.0)
+
+    def test_v2_sigma_zero_is_step_function(self):
+        fine = synthesize_population(np.array([[1.0, 2.0]]), 10.0, 5.0, sigma=0.0)
+        assert fine.tolist() == [[1.0, 1.0, 2.0, 2.0]]
+
+    def test_v2_cap_applies(self):
+        coarse = TraceSet.from_mapping({"a": [3.9] * 10}, 300.0)
+        fine = refine_trace_set(
+            coarse, 5.0, sigma=1.0, rng=np.random.default_rng(1), cap=4.0,
+            stream_layout="v2",
+        )
+        assert fine["a"].peak() <= 4.0
+
+    def test_population_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            synthesize_population(np.array([1.0]), 10.0, 5.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            synthesize_population(np.array([[-1.0]]), 10.0, 5.0)
+        with pytest.raises(ValueError, match="sigma"):
+            synthesize_population(np.array([[1.0]]), 10.0, 5.0, sigma=-0.2)
+        with pytest.raises(ValueError, match="integer multiple"):
+            synthesize_population(np.array([[1.0]]), 10.0, 3.0)

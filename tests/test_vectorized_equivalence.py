@@ -215,6 +215,83 @@ class TestAllocatorFastPathEquivalence:
         config = AllocationConfig(th_cost=th_cost)
         self._paths_agree(list(traces.names), refs, matrix, config, 8)
 
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=24),
+        st.floats(min_value=2.0, max_value=50.0),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_threshold_jump_matches_level_by_level_decay(self, n, th_cost, seed):
+        """Extreme thresholds force long TH-degeneration runs; the batched
+        sweep must jump through them to the same placements (and the same
+        float threshold trajectory) as the scalar level-by-level loop."""
+        rng = np.random.default_rng(seed)
+        traces = _random_traces(rng, n, 40)
+        matrix = CostMatrix.from_traces(traces)
+        refs = {vm: float(rng.uniform(0.05, 5.0)) for vm in traces.names}
+        config = AllocationConfig(th_cost=th_cost, alpha=0.99)
+        self._paths_agree(list(traces.names), refs, matrix, config, 8)
+
+    def test_cross_period_reuse_of_unchanged_rows(self, rng):
+        """One allocator re-used across periods (reindex cache warm, a few
+        matrix rows changing per period) places exactly like a fresh
+        allocator on every period."""
+        traces = _random_traces(rng, 18, 60)
+        matrix = CostMatrix.from_traces(traces)
+        array = matrix.as_array().copy()
+        refs = {vm: float(rng.uniform(0.1, 5.0)) for vm in traces.names}
+        reused = CorrelationAwareAllocator()
+        for period in range(5):
+            if period:
+                # Perturb a couple of rows/columns, symmetric like a
+                # streaming peak update; most rows stay byte-identical.
+                i = int(rng.integers(0, 18))
+                array[i, :] = array[i, :] * float(rng.uniform(1.0, 1.2))
+                array[:, i] = array[i, :]
+                array[i, i] = 1.0
+            warm = reused.allocate(
+                list(traces.names), refs, None, 8,
+                cost_array=array, name_index=matrix.name_index,
+            )
+            cold = CorrelationAwareAllocator().allocate(
+                list(traces.names), refs, None, 8,
+                cost_array=array, name_index=matrix.name_index,
+            )
+            assert dict(warm.assignment) == dict(cold.assignment)
+            assert warm.num_servers == cold.num_servers
+
+    def test_cross_period_reuse_with_changing_order(self, rng):
+        """A reference change reshuffles the canonical order: the reindex
+        cache must drop itself rather than serve the stale permutation."""
+        traces = _random_traces(rng, 12, 40)
+        matrix = CostMatrix.from_traces(traces)
+        array = matrix.as_array()
+        reused = CorrelationAwareAllocator()
+        for period in range(3):
+            refs = {vm: float(rng.uniform(0.1, 5.0)) for vm in traces.names}
+            warm = reused.allocate(
+                list(traces.names), refs, None, 8,
+                cost_array=array, name_index=matrix.name_index,
+            )
+            cold = CorrelationAwareAllocator().allocate(
+                list(traces.names), refs, None, 8,
+                cost_array=array, name_index=matrix.name_index,
+            )
+            assert dict(warm.assignment) == dict(cold.assignment)
+
+    def test_reset_cache_drops_the_snapshot(self, rng):
+        traces = _random_traces(rng, 6, 30)
+        matrix = CostMatrix.from_traces(traces)
+        refs = matrix.references()
+        allocator = CorrelationAwareAllocator()
+        allocator.allocate(
+            list(traces.names), refs, None, 8,
+            cost_array=matrix.as_array(), name_index=matrix.name_index,
+        )
+        assert allocator._reindex_cache is not None
+        allocator.reset_cache()
+        assert allocator._reindex_cache is None
+
     def test_exact_cost_comparison_mode(self, rng):
         """cost_resolution=0 (no bucketing) also agrees across paths."""
         traces = _random_traces(rng, 16, 60)
