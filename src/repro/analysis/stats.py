@@ -25,12 +25,24 @@ with masked array operations.  It is the kernel behind the vectorized
 streaming cost matrix (one stream per unordered VM pair); the scalar
 :class:`PSquarePercentile` remains the reference implementation the
 property tests compare it against.
+
+The marker state itself is a first-class, *mergeable* object: a batch
+estimator can :meth:`~BatchPSquare.snapshot`/:meth:`~BatchPSquare.restore`
+its full state, bulk-fold a whole monitoring window
+(:meth:`~BatchPSquare.fold_window`), and emit a compact
+:meth:`~BatchPSquare.marker_state` whose five heights approximate the
+:func:`p2_marker_fractions` quantiles.  :func:`fold_marker_states` merges
+such states (or richer :func:`quantile_fold_fractions` summaries computed
+exactly per window) into the percentile of the concatenated streams by
+inverting the count-weighted mixture of their piecewise-linear CDFs —
+the approximation behind the incremental percentile-mode horizon cost in
+:mod:`repro.core.correlation`, whose error the property tests bound.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -44,7 +56,131 @@ __all__ = [
     "PSquarePercentile",
     "RunningPercentile",
     "BatchPSquare",
+    "p2_marker_fractions",
+    "quantile_fold_fractions",
+    "fold_marker_states",
 ]
+
+
+def p2_marker_fractions(q: float) -> np.ndarray:
+    """The five P-square marker fractions ``[0, p/2, p, (1+p)/2, 1]``.
+
+    ``q`` is in percent; the returned fractions are in ``[0, 1]``.  These
+    are the cumulative probabilities the P-square markers track (minimum,
+    two flanking quantiles, the target quantile, maximum) and double as
+    the probability knots of the mergeable marker states consumed by
+    :func:`fold_marker_states`.
+    """
+    if not 0.0 < q < 100.0:
+        raise ValueError(f"marker fractions need an interior percentile, got {q}")
+    p = q / 100.0
+    return np.array([0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0])
+
+
+def quantile_fold_fractions(q: float) -> np.ndarray:
+    """An enriched marker grid for folding window summaries across a horizon.
+
+    Extends the five P-square fractions with quartiles, geometric
+    subdivisions of the head ``[0, p]`` and a geometric ladder into the
+    tail ``[p, 1]``.  The extra knots cost nothing to extract from a
+    sorted window and cut the piecewise-linear-CDF folding error of
+    :func:`fold_marker_states` severalfold when the folded windows sit at
+    different levels (e.g. diurnal drift across a placement horizon) —
+    most visibly for tail references like the 99th percentile, whose
+    inversion probes the upper body of every window's CDF.
+    """
+    if not 0.0 < q < 100.0:
+        raise ValueError(f"marker fractions need an interior percentile, got {q}")
+    p = q / 100.0
+    tail = 1.0 - (1.0 - p) * np.array([0.5, 1.0, 2.0, 4.0, 8.0, 16.0])
+    head = p * np.array([0.25, 0.5, 0.75])
+    grid = np.concatenate(([0.0, 0.25, 0.5, 0.75, 1.0, p], head, tail))
+    grid = grid[(grid >= 0.0) & (grid <= 1.0)]
+    return np.unique(np.round(grid, 12))
+
+
+#: Bisection depth of :func:`fold_marker_states` — the returned quantile is
+#: within ``2**-12`` of the bracket width (itself at most the spread of the
+#: per-state q-markers), far below the marker-compression error it rides on.
+_FOLD_BISECTIONS = 12
+
+
+def fold_marker_states(
+    marker_heights: Sequence[np.ndarray] | np.ndarray,
+    counts: Sequence[int] | np.ndarray,
+    q: float,
+    fractions: np.ndarray | None = None,
+) -> np.ndarray:
+    """Merge per-stream quantile marker states into one ``q``-th estimate.
+
+    ``marker_heights`` stacks ``K`` marker states of shape
+    ``(n_streams, len(fractions))`` — each row non-decreasing marker
+    heights whose cumulative probabilities are ``fractions`` (default:
+    the five P-square fractions, i.e. exactly what
+    :meth:`BatchPSquare.marker_state` emits).  ``counts`` gives each
+    state's sample count; the merged estimate is the ``q``-th quantile of
+    the *mixture* of the states' piecewise-linear CDFs, weighted by
+    count — the quantile of the concatenated underlying samples, up to
+    the marker compression.
+
+    The inversion bisects the monotone mixture CDF for
+    ``inf {x : F(x) >= p}``, which lands exactly on atoms (duplicate
+    marker heights from constant or idle streams) instead of smearing
+    them, and degenerates to the state's own ``q`` marker when ``K == 1``.
+
+    The bisection runs in the dtype of ``marker_heights``: float64
+    states (the :class:`BatchPSquare` default) fold at full precision,
+    while a caller with millions of pair streams can hand float32 states
+    over and halve the memory bandwidth of the loop — rounding at 1e-7
+    relative is noise against the marker-compression error either way.
+    """
+    heights = np.asarray(marker_heights)
+    if not np.issubdtype(heights.dtype, np.floating):
+        heights = heights.astype(float)
+    dtype = heights.dtype
+    if heights.ndim != 3:
+        raise ValueError(f"marker_heights must stack to 3-D, got shape {heights.shape}")
+    num_states, _, num_markers = heights.shape
+    fr = p2_marker_fractions(q) if fractions is None else np.asarray(fractions, dtype=float)
+    if fr.ndim != 1 or fr.size != num_markers:
+        raise ValueError(
+            f"{num_markers} markers per state but {fr.size} fractions"
+        )
+    p = q / 100.0
+    target = int(np.argmin(np.abs(fr - p)))
+    if not np.isclose(fr[target], p):
+        raise ValueError(f"fractions must include the target quantile {p}")
+    weights = np.asarray(counts, dtype=float)
+    if weights.shape != (num_states,) or np.any(weights <= 0):
+        raise ValueError("counts must supply one positive sample count per state")
+    if num_states == 1:
+        return heights[0, :, target].astype(float)
+    weights = (weights / weights.sum()).astype(dtype)
+    fr = fr.astype(dtype)
+    p_t = dtype.type(p)
+    half = dtype.type(0.5)
+
+    # The mixture quantile is bracketed by the per-state q markers.
+    low = heights[:, :, target].min(axis=0)
+    high = heights[:, :, target].max(axis=0)
+    for _ in range(_FOLD_BISECTIONS):
+        mid = half * (low + high)
+        # Piecewise-linear CDF of every state at ``mid``, all states at
+        # once: locate the bracketing markers, interpolate their
+        # fractions (duplicate-marker atoms degenerate to a step).
+        idx = (mid[None, :, None] >= heights).sum(axis=2)
+        cell = np.clip(idx, 1, num_markers - 1)
+        lower = np.take_along_axis(heights, (cell - 1)[:, :, None], axis=2)[..., 0]
+        upper = np.take_along_axis(heights, cell[:, :, None], axis=2)[..., 0]
+        span = upper - lower
+        sloped = span > 0.0
+        t = np.where(sloped, (mid - lower) / np.where(sloped, span, dtype.type(1.0)), mid >= upper)
+        np.clip(t, 0.0, 1.0, out=t)
+        mixture = (weights[:, None] * (fr[cell - 1] + t * (fr[cell] - fr[cell - 1]))).sum(axis=0)
+        above = mixture >= p_t
+        high = np.where(above, mid, high)
+        low = np.where(above, low, mid)
+    return high.astype(float)
 
 
 def percentile(samples: Sequence[float] | np.ndarray, q: float) -> float:
@@ -227,10 +363,13 @@ class PSquarePercentile:
     with evenly distributed computational effort, even when the reference
     utilization is an off-peak percentile rather than the true peak.
 
-    The estimator is exact while fewer than five samples have been seen
-    (it falls back to sorting the short buffer) and converges to the true
-    percentile as the stream grows; the property-based tests bound its
-    error against :func:`percentile` on several distributions.
+    The estimator is exact while at most five samples have been seen (it
+    falls back to sorting the short buffer; the markers only take over
+    from the sixth sample, when the parabolic adjustment first runs) and
+    converges to the true percentile as the stream grows; the
+    property-based tests bound its error against :func:`percentile` on
+    several distributions and pin it against :class:`BatchPSquare` in
+    lockstep, including duplicate-heavy streams around the handoff.
     """
 
     __slots__ = ("_q", "_initial", "_heights", "_positions", "_desired", "_increments", "_count")
@@ -325,10 +464,18 @@ class PSquarePercentile:
 
     @property
     def value(self) -> float:
-        """Current percentile estimate; raises before the first sample."""
+        """Current percentile estimate; raises before the first sample.
+
+        Exact (interpolated over the buffered samples) through the fifth
+        sample inclusive: at exactly five samples the markers have just
+        been seeded and ``heights[2]`` would be the raw median regardless
+        of ``q`` — the buffer still holds all five samples, so the exact
+        answer is free and the estimate hands off to the markers only
+        once they have actually adjusted.
+        """
         if self._count == 0:
             raise ValueError("PSquarePercentile has seen no samples")
-        if len(self._initial) < 5:
+        if self._count <= 5:
             data = sorted(self._initial)
             return percentile(data, self._q)
         return self._heights[2]
@@ -459,12 +606,110 @@ class BatchPSquare:
         for row in rows:
             self.update(row)
 
-    @property
-    def values(self) -> np.ndarray:
-        """Current per-stream percentile estimates (``(n_streams,)``)."""
+    def fold_window(self, block: np.ndarray) -> None:
+        """Bulk-fold a ``(num_samples, n_streams)`` sample block in.
+
+        Exactly lockstep with calling :meth:`update` once per row —
+        the rolling-horizon callers hand whole monitoring windows over
+        instead of driving the per-sample loop from Python.
+        """
+        data = np.asarray(block, dtype=float)
+        if data.ndim != 2 or data.shape[1] != self._n:
+            raise ValueError(
+                f"expected a (num_samples, {self._n}) block, got shape {data.shape}"
+            )
+        start = 0
+        while self._count < 5 and start < data.shape[0]:
+            self.update(data[start])
+            start += 1
+        for row in data[start:]:
+            self._absorb(row)
+            self._count += 1
+
+    def snapshot(self) -> dict:
+        """Serializable copy of the full marker state.
+
+        The returned dict contains only plain floats/ints and fresh
+        ndarray copies, so it pickles cleanly and survives mutation of
+        the live estimator.  Feed it back through :meth:`restore`.
+        """
+        return {
+            "q": self._q,
+            "n_streams": self._n,
+            "count": self._count,
+            "initial": self._initial.copy(),
+            "heights": self._heights.copy(),
+            "positions": self._positions.copy(),
+            "desired": self._desired.copy(),
+        }
+
+    def restore(self, state: Mapping) -> None:
+        """Reinstall a :meth:`snapshot`, validating it first.
+
+        Snapshots make otherwise-unreachable marker states reachable, so
+        the invariants the update step relies on are checked here: with
+        markers live (count > 5), per-stream positions must be strictly
+        increasing — degenerate (repeated) positions would divide by
+        zero in the parabolic adjustment — and marker heights sorted.
+        """
+        if state["q"] != self._q or state["n_streams"] != self._n:
+            raise ValueError(
+                f"snapshot is for q={state['q']}, {state['n_streams']} streams; "
+                f"this estimator tracks q={self._q} over {self._n} streams"
+            )
+        count = int(state["count"])
+        if count < 0:
+            raise ValueError("snapshot count must be non-negative")
+        shape = (self._n, 5)
+        arrays = {}
+        for key in ("initial", "heights", "positions", "desired"):
+            array = np.array(state[key], dtype=float)
+            if array.shape != shape:
+                raise ValueError(f"snapshot {key!r} must have shape {shape}")
+            arrays[key] = array
+        if count >= 5:
+            if np.any(np.diff(arrays["positions"], axis=1) <= 0):
+                raise ValueError(
+                    "snapshot positions must be strictly increasing per stream"
+                )
+            if np.any(np.diff(arrays["heights"], axis=1) < 0):
+                raise ValueError("snapshot heights must be sorted per stream")
+        self._count = count
+        self._initial = arrays["initial"]
+        self._heights = arrays["heights"]
+        self._positions = arrays["positions"]
+        self._desired = arrays["desired"]
+
+    def marker_state(self) -> tuple[np.ndarray, int]:
+        """Mergeable five-marker summary: ``(heights (n, 5), count)``.
+
+        Heights sit at the :func:`p2_marker_fractions` probabilities —
+        exact (interpolated from the warm-up buffer) through the fifth
+        sample, the live P-square markers afterwards.  Stack states from
+        several estimators into :func:`fold_marker_states` to estimate
+        the percentile of the concatenated streams.
+        """
         if self._count == 0:
             raise ValueError("BatchPSquare has seen no samples")
-        if self._count < 5:
+        if self._count <= 5:
+            fractions = p2_marker_fractions(self._q)
+            heights = np.percentile(
+                self._initial[:, : self._count], fractions * 100.0, axis=1
+            ).T
+            return np.ascontiguousarray(heights), self._count
+        return self._heights.copy(), self._count
+
+    @property
+    def values(self) -> np.ndarray:
+        """Current per-stream percentile estimates (``(n_streams,)``).
+
+        Exact through the fifth sample inclusive, mirroring
+        :attr:`PSquarePercentile.value` — the freshly seeded markers
+        would report the raw median regardless of ``q``.
+        """
+        if self._count == 0:
+            raise ValueError("BatchPSquare has seen no samples")
+        if self._count <= 5:
             return np.percentile(self._initial[:, : self._count], self._q, axis=1)
         return self._heights[:, 2].copy()
 

@@ -41,10 +41,15 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.analysis.stats import BatchPSquare
+from repro.analysis.stats import BatchPSquare, fold_marker_states, quantile_fold_fractions
 from repro.traces.trace import ReferenceSpec, TraceSet
 
-__all__ = ["CostMatrix", "StreamingCostMatrix", "pearson_cost_matrix"]
+__all__ = [
+    "CostMatrix",
+    "StreamingCostMatrix",
+    "RollingCostHorizon",
+    "pearson_cost_matrix",
+]
 
 #: Neutral cost assigned to degenerate pairs (both VMs idle over the whole
 #: window).  1.0 means "treat as fully correlated", the conservative choice:
@@ -81,6 +86,23 @@ def _cost_matrix_from_parts(singles: np.ndarray, joint: np.ndarray) -> np.ndarra
 
 def _build_index(names: Sequence[str]) -> dict[str, int]:
     return {name: i for i, name in enumerate(names)}
+
+
+def _sorted_markers(sorted_rows: np.ndarray, fractions: np.ndarray) -> np.ndarray:
+    """Quantile markers gathered from already-sorted sample rows.
+
+    ``sorted_rows`` is ``(..., samples)`` sorted along the last axis;
+    the result is ``(..., len(fractions))`` with numpy's linear
+    (interpolated) percentile convention, computed in the rows' dtype
+    (float32 scratch stays float32).
+    """
+    samples = sorted_rows.shape[-1]
+    position = fractions * (samples - 1)
+    low = np.floor(position).astype(np.intp)
+    high = np.minimum(low + 1, samples - 1)
+    t = (position - low).astype(sorted_rows.dtype)
+    one = sorted_rows.dtype.type(1.0)
+    return sorted_rows[..., low] * (one - t) + sorted_rows[..., high] * t
 
 
 class CostMatrix:
@@ -159,6 +181,70 @@ class CostMatrix:
         lower = np.tril_indices(n, k=-1)
         joint[lower] = joint.T[lower]
         return refs.astype(float), joint
+
+    @classmethod
+    def marker_parts(
+        cls, traces: TraceSet, spec: ReferenceSpec, fractions: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Compressed per-window percentile parts: quantile marker states.
+
+        Percentile references do not decompose over window concatenation
+        the way peaks do, but a window's *marker state* — its quantiles
+        at the :func:`~repro.analysis.stats.quantile_fold_fractions`
+        grid — folds across windows through
+        :func:`~repro.analysis.stats.fold_marker_states` with a bounded,
+        CI-gated error.  This is the percentile analogue of
+        :meth:`reference_parts`: cache one marker state per window and
+        fold the horizon instead of re-reducing it.
+
+        Returns ``(single_markers, pair_markers, count)`` where
+        ``single_markers`` is ``(n, m)``, ``pair_markers`` is condensed
+        upper-triangle ``(n * (n - 1) / 2, m)`` in
+        ``np.triu_indices(n, 1)`` order, and ``count`` is the window's
+        sample count (the fold weight).  Each marker row is extracted
+        from one sorted pass over the window's (pair-sum) samples, so the
+        per-window cost is the same O(N²W)-shaped reduction the peak
+        fast path pays — not the O(N²WH) horizon rebuild.
+
+        Pair markers are stored as float32: the folding path is
+        approximate by contract (the CI gate bounds its deviation at
+        percent scale), the 1e-7-relative rounding is noise against
+        that, and the narrower state halves both the per-window cache
+        footprint and the fold's memory bandwidth at fleet scale.
+        Single-VM markers stay float64 — there are only N of them.
+        """
+        if spec.is_peak:
+            raise ValueError(
+                "peak references fold exactly through reference_parts; "
+                "marker parts are the percentile-mode folding state"
+            )
+        fractions = (
+            quantile_fold_fractions(spec.percentile) if fractions is None else fractions
+        )
+        data = traces.matrix
+        n = traces.num_traces
+        samples = data.shape[1]
+        single_markers = _sorted_markers(np.sort(data, axis=1), fractions)
+        tri_rows, tri_cols = np.triu_indices(n, k=1)
+        pair_markers = np.empty((tri_rows.size, fractions.size), dtype=np.float32)
+        # Pair sums are reduced in float32 scratch: halves the bandwidth
+        # of the dominant sort, with rounding far below the gated fold
+        # error (see the docstring).
+        narrow = data.astype(np.float32)
+        start = 0
+        while start < n:
+            rows = max(1, _BLOCK_ELEMENTS // max(1, (n - start) * samples))
+            stop = min(start + rows, n)
+            sums = narrow[start:stop, None, :] + narrow[None, start:, :]
+            sums.sort(axis=2)
+            block = _sorted_markers(sums, fractions)
+            # Every unordered pair whose smaller index falls in this row
+            # block lives at block[i - start, j - start] (columns span
+            # ``start:`` and j > i >= start).
+            sel = (tri_rows >= start) & (tri_rows < stop)
+            pair_markers[sel] = block[tri_rows[sel] - start, tri_cols[sel] - start]
+            start = stop
+        return single_markers, pair_markers, samples
 
     @classmethod
     def from_parts(
@@ -353,6 +439,63 @@ class StreamingCostMatrix:
         for vector in vectors:
             self.update(vector)
 
+    def fold_window(self, window: np.ndarray) -> None:
+        """Bulk-fold a whole ``(num_vms, num_samples)`` demand window in.
+
+        Equivalent to calling :meth:`update` once per sample column —
+        bit-exactly in peak mode (running maxima are associative; the
+        pair reduction is blocked to bound peak memory) and in lockstep
+        in percentile mode (the batch estimators advance through
+        :meth:`~repro.analysis.stats.BatchPSquare.fold_window`).  This is
+        the period-boundary entry point: replay hands each finished
+        monitoring window over in one call.
+        """
+        data = np.asarray(window, dtype=float)
+        n = len(self._names)
+        if data.ndim != 2 or data.shape[0] != n:
+            raise ValueError(f"expected a ({n}, samples) window, got shape {data.shape}")
+        if data.shape[1] == 0:
+            return
+        if np.any(data < 0) or not np.all(np.isfinite(data)):
+            raise ValueError("utilizations must be finite and non-negative")
+        samples = data.shape[1]
+        if self._spec.is_peak:
+            np.maximum(self._single_peak, data.max(axis=1), out=self._single_peak)
+            start = 0
+            while start < n:
+                rows = max(1, _BLOCK_ELEMENTS // max(1, n * samples))
+                stop = min(start + rows, n)
+                sums = data[start:stop, None, :] + data[None, :, :]
+                np.maximum(
+                    self._pair_peak[start:stop],
+                    sums.max(axis=2),
+                    out=self._pair_peak[start:stop],
+                )
+                start = stop
+        else:
+            self._single_est.fold_window(data.T)
+            if self._pair_est is not None:
+                # Blocked over samples: the pair-sum scratch for a whole
+                # window is (N(N-1)/2, W) — ~1 GB at N=1000 / W=240 —
+                # so build and fold it a bounded slice at a time.
+                pairs = self._rows.size
+                step = max(1, _BLOCK_ELEMENTS // max(1, pairs))
+                for start in range(0, samples, step):
+                    chunk = data[:, start : start + step]
+                    self._pair_est.fold_window((chunk[self._rows] + chunk[self._cols]).T)
+        self._count += samples
+
+    def to_cost_matrix(self) -> CostMatrix:
+        """Freeze the current estimates into an immutable :class:`CostMatrix`.
+
+        The references are copied, so the snapshot stays valid while the
+        streaming estimators keep advancing.
+        """
+        if self._count == 0:
+            raise ValueError("no samples observed yet")
+        singles = np.array(self._single_values(), dtype=float)
+        return CostMatrix.from_parts(self._names, singles, self._joint_matrix(), self._spec)
+
     def _refresh_cache(self) -> None:
         """Re-materialise the percentile estimates at the current count.
 
@@ -443,6 +586,200 @@ class StreamingCostMatrix:
         self._cache_count = -1
         self._single_cache = None
         self._pair_cache = None
+
+
+class RollingCostHorizon:
+    """Per-period Eqn-1 cost matrices over a rolling multi-window horizon.
+
+    Section IV-A measures correlation "across a certain time horizon";
+    the proposed approach estimates its cost matrix over the last
+    ``horizon_periods`` monitoring windows.  This tracker owns the
+    per-window caching that keeps the per-period cost at one window's
+    worth of reduction instead of a whole-horizon rebuild:
+
+    * **Peak references** (any mode): each window's
+      :meth:`CostMatrix.reference_parts` are cached and folded with
+      element-wise maxima — *bit-exact* against rebuilding the
+      concatenated horizon, because peaks decompose over concatenation.
+    * **Percentile references, ``mode="exact"``**: percentiles do not
+      decompose, so the raw windows are kept in a preallocated ring
+      buffer and the joint matrix is rebuilt from the concatenation
+      every period (O(N²WH)) — the reference behaviour.
+    * **Percentile references, ``mode="p2"``**: each window is compressed
+      to its quantile *marker states* (:meth:`CostMatrix.marker_parts`,
+      P-square-style summaries on the
+      :func:`~repro.analysis.stats.quantile_fold_fractions` grid) and the
+      horizon estimate is their count-weighted mixture-CDF fold
+      (:func:`~repro.analysis.stats.fold_marker_states`) — O(N²W) per
+      period like the peak path, *approximate but CI-gated*: the
+      per-entry deviation from the exact rebuild is bounded by the
+      equivalence tests and the ``horizon_percentile`` benchmark gate.
+
+    A change in the member names (or window geometry, in exact mode)
+    restarts the horizon from the incoming window alone — cached parts
+    from a different population must never fold into the estimate.
+    """
+
+    __slots__ = (
+        "_spec",
+        "_periods",
+        "_mode",
+        "_fractions",
+        "_target",
+        "_names",
+        "_parts",
+        "_marker_parts",
+        "_buffer",
+        "_filled",
+    )
+
+    def __init__(
+        self,
+        spec: ReferenceSpec | None = None,
+        horizon_periods: int = 3,
+        mode: str = "exact",
+    ) -> None:
+        if horizon_periods < 1:
+            raise ValueError("horizon_periods must be at least 1")
+        if mode not in ("exact", "p2"):
+            raise ValueError(f'horizon mode must be "exact" or "p2", got {mode!r}')
+        self._spec = spec or ReferenceSpec()
+        self._periods = horizon_periods
+        self._mode = mode
+        if self._spec.is_peak:
+            self._fractions = None
+            self._target = 0
+        else:
+            self._fractions = quantile_fold_fractions(self._spec.percentile)
+            self._target = int(
+                np.argmin(np.abs(self._fractions - self._spec.percentile / 100.0))
+            )
+        self._names: tuple[str, ...] | None = None
+        # Peak mode: cached per-window (refs, joint) reference parts.
+        self._parts: list[tuple[np.ndarray, np.ndarray]] = []
+        # p2 mode: cached per-window (single, pair, count) marker states.
+        self._marker_parts: list[tuple[np.ndarray, np.ndarray, int]] = []
+        # Exact percentile mode: preallocated raw-sample ring buffer,
+        # ``horizon_periods`` windows wide, filled left to right and
+        # shifted in place once full.
+        self._buffer: np.ndarray | None = None
+        self._filled = 0
+
+    @property
+    def spec(self) -> ReferenceSpec:
+        """The reference-utilization policy."""
+        return self._spec
+
+    @property
+    def horizon_periods(self) -> int:
+        """Number of windows the rolling horizon covers."""
+        return self._periods
+
+    @property
+    def mode(self) -> str:
+        """``"exact"`` or ``"p2"`` (percentile folding)."""
+        return self._mode
+
+    def push(self, window: TraceSet) -> CostMatrix:
+        """Fold one finished monitoring window in; return the horizon matrix."""
+        if self._periods == 1:
+            return CostMatrix.from_traces(window, self._spec)
+        if self._spec.is_peak:
+            return self._push_peak(window)
+        if self._mode == "p2":
+            return self._push_markers(window)
+        return CostMatrix.from_traces(self._concatenated(window), self._spec)
+
+    def _push_peak(self, window: TraceSet) -> CostMatrix:
+        """Fold cached per-window reference parts (bit-exact for peaks)."""
+        if self._names != window.names:
+            self._names = window.names
+            self._parts.clear()
+        self._parts.append(CostMatrix.reference_parts(window, self._spec))
+        if len(self._parts) > self._periods:
+            del self._parts[: len(self._parts) - self._periods]
+        refs, joint = self._parts[0]
+        for other_refs, other_joint in self._parts[1:]:
+            refs = np.maximum(refs, other_refs)
+            joint = np.maximum(joint, other_joint)
+        return CostMatrix.from_parts(window.names, refs, joint, self._spec)
+
+    def _push_markers(self, window: TraceSet) -> CostMatrix:
+        """Fold cached per-window marker states (approximate, gated)."""
+        if self._names != window.names:
+            self._names = window.names
+            self._marker_parts.clear()
+        self._marker_parts.append(
+            CostMatrix.marker_parts(window, self._spec, self._fractions)
+        )
+        if len(self._marker_parts) > self._periods:
+            del self._marker_parts[: len(self._marker_parts) - self._periods]
+        q = self._spec.percentile
+        if len(self._marker_parts) == 1:
+            singles, pairs, _count = self._marker_parts[0]
+            refs = singles[:, self._target].copy()
+            folded_pairs = pairs[:, self._target].copy()
+        else:
+            counts = np.array([part[2] for part in self._marker_parts], dtype=float)
+            refs = fold_marker_states(
+                np.stack([part[0] for part in self._marker_parts]),
+                counts,
+                q,
+                self._fractions,
+            )
+            folded_pairs = fold_marker_states(
+                np.stack([part[1] for part in self._marker_parts]),
+                counts,
+                q,
+                self._fractions,
+            )
+        n = len(window.names)
+        joint = np.empty((n, n), dtype=float)
+        # The diagonal joint reference of a VM with itself is exactly
+        # twice its own reference (the cost matrix overwrites the
+        # diagonal with NEUTRAL_COST either way).
+        np.fill_diagonal(joint, 2.0 * refs)
+        rows, cols = np.triu_indices(n, k=1)
+        joint[rows, cols] = folded_pairs
+        joint[cols, rows] = folded_pairs
+        return CostMatrix.from_parts(window.names, refs, joint, self._spec)
+
+    def _concatenated(self, window: TraceSet) -> TraceSet:
+        """The last ``horizon_periods`` raw windows, concatenated."""
+        incoming = window.matrix
+        num_vms, width = incoming.shape
+        capacity = self._periods * width
+        buffer = self._buffer
+        if (
+            buffer is None
+            or buffer.shape != (num_vms, capacity)
+            or self._names != window.names
+        ):
+            # First period, or the population/window geometry changed:
+            # (re)start the horizon from this window alone.
+            buffer = np.empty((num_vms, capacity), dtype=float)
+            self._buffer = buffer
+            self._filled = 0
+            self._names = window.names
+        if self._filled == capacity:
+            buffer[:, :-width] = buffer[:, width:]
+            buffer[:, -width:] = incoming
+        else:
+            buffer[:, self._filled : self._filled + width] = incoming
+            self._filled += width
+        if self._filled == width:
+            return window
+        joined = buffer[:, : self._filled].copy()
+        joined.flags.writeable = False
+        return TraceSet.from_matrix(joined, window.names, window.period_s)
+
+    def reset(self) -> None:
+        """Drop all cached windows and parts (fresh replay)."""
+        self._names = None
+        self._parts.clear()
+        self._marker_parts.clear()
+        self._buffer = None
+        self._filled = 0
 
 
 def pearson_cost_matrix(traces: TraceSet) -> np.ndarray:

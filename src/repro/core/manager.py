@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.core.allocation import AllocationConfig, CorrelationAwareAllocator
-from repro.core.correlation import CostMatrix
+from repro.core.correlation import CostMatrix, RollingCostHorizon
 from repro.core.placement import Placement
 from repro.core.vf_control import correlation_aware_frequency, estimate_active_servers
 from repro.infrastructure.dvfs import FrequencyLadder, StaticVfSetting
@@ -53,6 +53,16 @@ class ManagerConfig:
     default_reference:
         Prediction used for VMs with no history yet (first period); the
         conservative choice is the per-VM core cap, supplied by the caller.
+    horizon_periods:
+        Monitoring windows the cost matrix covers.  The default of 1
+        (cost matrix from the latest window alone) is the original
+        manager behaviour; larger horizons fold cached per-window parts
+        through :class:`~repro.core.correlation.RollingCostHorizon`,
+        exactly like the replay approaches do.
+    horizon_mode:
+        ``"exact"`` or ``"p2"`` — only meaningful for multi-window
+        percentile-reference horizons (see
+        :class:`~repro.core.correlation.RollingCostHorizon`).
     """
 
     n_cores: int
@@ -61,12 +71,20 @@ class ManagerConfig:
     allocation: AllocationConfig = field(default_factory=AllocationConfig)
     max_servers: int | None = None
     default_reference: float = 1.0
+    horizon_periods: int = 1
+    horizon_mode: str = "exact"
 
     def __post_init__(self) -> None:
         if self.n_cores <= 0:
             raise ValueError("n_cores must be positive")
         if self.default_reference < 0:
             raise ValueError("default_reference must be non-negative")
+        if self.horizon_periods < 1:
+            raise ValueError("horizon_periods must be at least 1")
+        if self.horizon_mode not in ("exact", "p2"):
+            raise ValueError(
+                f'horizon_mode must be "exact" or "p2", got {self.horizon_mode!r}'
+            )
 
 
 @dataclass(frozen=True)
@@ -97,6 +115,9 @@ class PowerManager:
         self._allocator = CorrelationAwareAllocator(config.allocation)
         self._ladder = FrequencyLadder(config.freq_levels_ghz)
         self._history: dict[str, list[float]] = {}
+        self._horizon = RollingCostHorizon(
+            config.reference, config.horizon_periods, config.horizon_mode
+        )
 
     @property
     def config(self) -> ManagerConfig:
@@ -137,7 +158,7 @@ class PowerManager:
         """
         self.observe(window)
         predicted = self.predict(list(window.names))
-        matrix = CostMatrix.from_traces(window, self._config.reference)
+        matrix = self._horizon.push(window)
         estimated = estimate_active_servers(predicted, self._config.n_cores)
         placement = self._allocator.allocate(
             list(window.names),
@@ -172,3 +193,4 @@ class PowerManager:
         """
         self._history.clear()
         self._allocator.reset_cache()
+        self._horizon.reset()

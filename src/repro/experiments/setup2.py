@@ -43,6 +43,15 @@ class Setup2Config:
     :mod:`repro.traces.synthesis`): ``"v2"`` (the default) refines the
     population in one batched draw; ``"v1"`` reproduces the byte-exact
     populations of releases that predate the versioned layout.
+
+    ``horizon_mode`` selects the rolling-horizon cost path of the
+    proposed approach (see
+    :class:`~repro.core.correlation.RollingCostHorizon`).  The default
+    ``"p2"`` folds per-window quantile marker states whenever a
+    percentile reference is in play (the QoS sweep); the paper's own
+    peak-reference runs are unaffected — peaks fold bit-exactly in
+    either mode.  Pass ``"exact"`` to force the full percentile horizon
+    rebuild.
     """
 
     traces: DatacenterTraceConfig = field(default_factory=DatacenterTraceConfig)
@@ -55,6 +64,7 @@ class Setup2Config:
     dvfs_interval_samples: int = 12
     allocation: AllocationConfig = field(default_factory=AllocationConfig)
     pcp: PcpConfig = field(default_factory=PcpConfig)
+    horizon_mode: str = "p2"
 
     def fast_variant(self) -> "Setup2Config":
         """A shrunk configuration for smoke tests (6 hours, 16 VMs)."""
@@ -75,6 +85,7 @@ class Setup2Config:
             dvfs_interval_samples=self.dvfs_interval_samples,
             allocation=self.allocation,
             pcp=self.pcp,
+            horizon_mode=self.horizon_mode,
         )
 
 
@@ -155,6 +166,7 @@ def setup2_scenarios(
             max_servers=config.num_servers,
             allocation=config.allocation,
             default_reference=default_ref,
+            horizon_mode=config.horizon_mode,
         ),
     }
     return [

@@ -24,13 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Protocol
 
-import numpy as np
-
 from repro.baselines.bfd import best_fit_decreasing
 from repro.baselines.ffd import first_fit_decreasing
 from repro.baselines.pcp import PcpConfig, peak_clustering_placement
 from repro.core.allocation import AllocationConfig, CorrelationAwareAllocator
-from repro.core.correlation import CostMatrix
+from repro.core.correlation import RollingCostHorizon
 from repro.core.placement import Placement
 from repro.core.vf_control import correlation_aware_frequency, peak_sum_frequency
 from repro.infrastructure.dvfs import FrequencyLadder, StaticVfSetting
@@ -136,6 +134,15 @@ class ProposedApproach:
     is about to surge jointly.  Peaks over a longer horizon are
     conservative by construction (they can only grow), so the discount
     only engages for pairs whose de-correlation is *stable*.
+
+    The horizon bookkeeping lives in
+    :class:`~repro.core.correlation.RollingCostHorizon`.  Peak-mode
+    references fold per-window parts bit-exactly regardless of
+    ``horizon_mode``; percentile references rebuild the concatenated
+    horizon under ``horizon_mode="exact"`` (the default, bit-identical
+    reference behaviour) or fold per-window quantile marker states under
+    ``horizon_mode="p2"`` — the approximate-but-gated O(N²W)-per-period
+    path the QoS sweep opts into.
     """
 
     def __init__(
@@ -148,9 +155,8 @@ class ProposedApproach:
         predictor: Predictor | None = None,
         default_reference: float = 1.0,
         horizon_periods: int = 3,
+        horizon_mode: str = "exact",
     ) -> None:
-        if horizon_periods < 1:
-            raise ValueError("horizon_periods must be at least 1")
         self.name = "Proposed"
         self._n_cores = n_cores
         self._ladder = FrequencyLadder(freq_levels_ghz)
@@ -160,66 +166,11 @@ class ProposedApproach:
         self._refs = _ReferenceHistory(
             self._reference, predictor or LastValuePredictor(default_reference), default_reference
         )
-        self._horizon_periods = horizon_periods
-        # Preallocated horizon buffer: ``horizon_periods`` windows wide,
-        # filled left to right and shifted in place once full, so the
-        # rolling horizon never re-concatenates a list of past windows.
-        # (Only used in percentile-reference mode; peak mode folds cached
-        # per-window Eqn-1 parts instead — see _horizon_cost_matrix.)
-        self._horizon_buffer: np.ndarray | None = None
-        self._horizon_filled = 0
-        self._part_names: tuple[str, ...] | None = None
-        self._parts: list[tuple[np.ndarray, np.ndarray]] = []
-
-    def _horizon(self, window: TraceSet) -> TraceSet:
-        """The last ``horizon_periods`` windows, concatenated."""
-        if self._horizon_periods == 1:
-            return window
-        incoming = window.matrix
-        num_vms, width = incoming.shape
-        capacity = self._horizon_periods * width
-        buffer = self._horizon_buffer
-        if buffer is None or buffer.shape != (num_vms, capacity):
-            # First period, or the population/window geometry changed:
-            # (re)start the horizon from this window alone.
-            buffer = np.empty((num_vms, capacity), dtype=float)
-            self._horizon_buffer = buffer
-            self._horizon_filled = 0
-        if self._horizon_filled == capacity:
-            buffer[:, :-width] = buffer[:, width:]
-            buffer[:, -width:] = incoming
-        else:
-            buffer[:, self._horizon_filled : self._horizon_filled + width] = incoming
-            self._horizon_filled += width
-        if self._horizon_filled == width:
-            return window
-        joined = buffer[:, : self._horizon_filled].copy()
-        joined.flags.writeable = False
-        return TraceSet.from_matrix(joined, window.names, window.period_s)
-
-    def _horizon_cost_matrix(self, window: TraceSet) -> CostMatrix:
-        """Eqn-1 cost matrix over the rolling horizon.
-
-        Peak references decompose over window concatenation (``max`` of
-        per-window maxima, bit-exactly), so in peak mode each period only
-        reduces the *new* window's joint peaks and folds them with the
-        cached parts of the previous ``horizon_periods - 1`` windows —
-        instead of re-reducing the whole horizon.  Percentile references
-        do not decompose; that mode keeps the full horizon rebuild.
-        """
-        if not self._reference.is_peak or self._horizon_periods == 1:
-            return CostMatrix.from_traces(self._horizon(window), self._reference)
-        if self._part_names != window.names:
-            self._part_names = window.names
-            self._parts.clear()
-        self._parts.append(CostMatrix.reference_parts(window, self._reference))
-        if len(self._parts) > self._horizon_periods:
-            del self._parts[: len(self._parts) - self._horizon_periods]
-        refs, joint = self._parts[0]
-        for other_refs, other_joint in self._parts[1:]:
-            refs = np.maximum(refs, other_refs)
-            joint = np.maximum(joint, other_joint)
-        return CostMatrix.from_parts(window.names, refs, joint, self._reference)
+        self._horizon = RollingCostHorizon(self._reference, horizon_periods, horizon_mode)
+        # Fingerprint of the placed population: a swap to different VM
+        # names drops the allocator's cross-period reindex cache, whose
+        # O(N²) snapshot would otherwise pin a dead population in memory.
+        self._population: tuple[str, ...] | None = None
 
     def prime_oracle(self, true_references: dict[str, float]) -> None:
         """Inject the true upcoming references (oracle ablation mode)."""
@@ -227,7 +178,11 @@ class ProposedApproach:
 
     def decide(self, window: TraceSet) -> ApproachDecision:
         predicted = self._refs.observe_and_predict(window)
-        matrix = self._horizon_cost_matrix(window)
+        if self._population != window.names:
+            if self._population is not None:
+                self._allocator.reset_cache()
+            self._population = window.names
+        matrix = self._horizon.push(window)
         placement = self._allocator.allocate(
             list(window.names),
             predicted,
@@ -249,10 +204,8 @@ class ProposedApproach:
     def reset(self) -> None:
         self._refs.reset()
         self._allocator.reset_cache()
-        self._horizon_buffer = None
-        self._horizon_filled = 0
-        self._part_names = None
-        self._parts.clear()
+        self._horizon.reset()
+        self._population = None
 
 
 class _PackingApproach:

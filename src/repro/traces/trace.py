@@ -20,6 +20,15 @@ from repro.analysis.stats import pearson, percentile
 __all__ = ["ReferenceSpec", "UtilizationTrace", "TraceSet"]
 
 
+#: Peak-detection tolerance of :class:`ReferenceSpec`: a percentile within
+#: this distance of 100 normalizes to exactly 100.0.  Sweep arithmetic
+#: (``100 * (1 - eps)``-style expressions) lands within float rounding of
+#: the peak, and without the clamp such values would silently take the
+#: (much slower, subtly different) ``np.percentile`` path instead of
+#: ``np.max`` — and miss every peak-only fast path downstream.
+_PEAK_EPS = 1e-9
+
+
 @dataclass(frozen=True)
 class ReferenceSpec:
     """How to turn a utilization signal into a reference utilization.
@@ -27,19 +36,33 @@ class ReferenceSpec:
     The paper provisions each VM at its *reference* utilization
     ``u_hat`` — "either the peak or the Nth percentile value depending on
     QoS requirement" (Section IV-A).  ``percentile=100`` selects the peak.
+
+    The percentile is normalized on construction: any numeric type is
+    coerced to ``float`` (so ``ReferenceSpec(100)`` equals
+    ``ReferenceSpec(100.0)``) and values within :data:`_PEAK_EPS` of 100
+    clamp to exactly 100.0, so computed sweep values hit the ``np.max``
+    fast path rather than a float-equality miss.
     """
 
     percentile: float = 100.0
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.percentile <= 100.0:
+        value = float(self.percentile)
+        if value >= 100.0 - _PEAK_EPS:
+            if value > 100.0 + _PEAK_EPS:
+                raise ValueError(
+                    f"reference percentile must lie in (0, 100], got {value}"
+                )
+            value = 100.0
+        elif not value > 0.0:
             raise ValueError(
-                f"reference percentile must lie in (0, 100], got {self.percentile}"
+                f"reference percentile must lie in (0, 100], got {value}"
             )
+        object.__setattr__(self, "percentile", value)
 
     def of(self, samples: np.ndarray) -> float:
         """Reference utilization of a raw sample array."""
-        if self.percentile == 100.0:
+        if self.is_peak:
             return float(np.max(samples))
         return percentile(samples, self.percentile)
 

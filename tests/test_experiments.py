@@ -156,3 +156,32 @@ class TestTable2:
         """
         counts = result.data["pcp_cluster_counts"]
         assert all(1 <= c <= 5 for c in counts)
+
+
+class TestQosSweepSaving:
+    """The headline power-saving metric and its degenerate-input guard."""
+
+    @staticmethod
+    def _result(avg_power_w: float):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(avg_power_w=avg_power_w)
+
+    def test_nominal_saving(self):
+        from repro.experiments.qos_sweep import _power_saving_pct
+
+        results = {90.0: self._result(80.0), 100.0: self._result(100.0)}
+        assert _power_saving_pct(results) == pytest.approx(20.0)
+
+    def test_zero_peak_power_yields_nan_not_zerodivision(self):
+        from repro.experiments.qos_sweep import _power_saving_pct
+
+        results = {90.0: self._result(0.0), 100.0: self._result(0.0)}
+        assert np.isnan(_power_saving_pct(results))
+
+    def test_absent_endpoints_yield_nan_not_keyerror(self):
+        from repro.experiments.qos_sweep import _power_saving_pct
+
+        assert np.isnan(_power_saving_pct({}))
+        assert np.isnan(_power_saving_pct({100.0: self._result(50.0)}))
+        assert np.isnan(_power_saving_pct({90.0: self._result(50.0)}))

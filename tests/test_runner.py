@@ -12,7 +12,7 @@ from repro.infrastructure.server import XEON_E5410
 from repro.sim.approaches import BfdApproach, ProposedApproach
 from repro.sim.engine import ReplayConfig, replay
 from repro.sim.runner import Scenario, default_workers, run_scenarios
-from repro.traces.trace import TraceSet, UtilizationTrace
+from repro.traces.trace import ReferenceSpec, TraceSet, UtilizationTrace
 
 
 def _traces(seed: int = 0, num_vms: int = 6, periods: int = 3, spp: int = 60) -> TraceSet:
@@ -178,6 +178,43 @@ class TestRunScenarios:
             assert np.array_equal(left.violation_ratio, right.violation_ratio)
             assert left.residency.merged() == right.residency.merged()
             assert left.migrations == right.migrations
+
+    def test_qos_p2_sweep_serial_matches_pool(self):
+        """The QoS-sweep shape — ProposedApproach across reference
+        percentiles under ``horizon_mode="p2"`` — returns bit-identical
+        results from the serial and process-pool paths (the marker fold
+        is deterministic; workers only change wall-clock time)."""
+        traces = _traces(12)
+        scenarios = [
+            Scenario(
+                name=f"p{percentile:.0f}",
+                approach_factory=partial(
+                    ProposedApproach,
+                    8,
+                    (2.0, 2.3),
+                    max_servers=6,
+                    reference=ReferenceSpec(percentile),
+                    default_reference=4.0,
+                    horizon_mode="p2",
+                ),
+                spec=XEON_E5410,
+                num_servers=6,
+                replay=ReplayConfig(tperiod_s=300.0),
+                traces=traces,
+                trace_builder=partial(build_population, 12),
+            )
+            for percentile in (90.0, 99.0, 100.0)
+        ]
+        serial = run_scenarios(scenarios, workers=1)
+        parallel = run_scenarios(scenarios, workers=2)
+        assert len(serial) == len(parallel) == 3
+        for left, right in zip(serial, parallel):
+            assert left.energy_j == right.energy_j
+            assert np.array_equal(left.violation_ratio, right.violation_ratio)
+            assert [dict(p.assignment) for p in left.placements] == [
+                dict(p.assignment) for p in right.placements
+            ]
+            assert left.residency.merged() == right.residency.merged()
 
     def test_unpicklable_sweep_falls_back_to_serial(self):
         traces = _traces(1)

@@ -10,14 +10,18 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.stats import (
+    BatchPSquare,
     PSquarePercentile,
     RunningMax,
     RunningMeanVar,
     RunningPercentile,
     autocorrelation,
     empirical_cdf,
+    fold_marker_states,
+    p2_marker_fractions,
     pearson,
     percentile,
+    quantile_fold_fractions,
 )
 
 finite_floats = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
@@ -209,6 +213,191 @@ class TestPSquare:
         p = PSquarePercentile(q)
         p.extend(values)
         assert min(values) - 1e-9 <= p.value <= max(values) + 1e-9
+
+
+class TestPSquareHandoff:
+    """Regressions for the exact-buffer -> marker handoff (count == 5)."""
+
+    @pytest.mark.parametrize("q", [25.0, 75.0, 90.0])
+    def test_exact_at_exactly_five_samples(self, q):
+        data = [3.0, 1.0, 4.0, 1.5, 9.0]
+        p = PSquarePercentile(q)
+        p.extend(data)
+        assert p.count == 5
+        assert p.value == pytest.approx(percentile(data, q), abs=1e-12)
+
+    def test_batch_exact_at_exactly_five_samples(self):
+        data = np.array([[3.0, 1.0], [1.0, 1.0], [4.0, 2.0], [1.5, 1.0], [9.0, 2.0]])
+        batch = BatchPSquare(90.0, 2)
+        batch.extend(data)
+        expected = np.percentile(data, 90.0, axis=0)
+        np.testing.assert_allclose(batch.values, expected, atol=1e-12)
+
+    @pytest.mark.parametrize("q", [10.0, 50.0, 90.0])
+    def test_scalar_batch_lockstep_with_duplicates(self, q, rng):
+        """Duplicate-heavy streams around the handoff: scalar == batch,
+        finite, at every prefix length."""
+        support = np.array([0.0, 1.0, 2.5])
+        data = rng.choice(support, size=(12, 3))
+        batch = BatchPSquare(q, 3)
+        scalars = [PSquarePercentile(q) for _ in range(3)]
+        for row in data:
+            batch.update(row)
+            for k, scalar in enumerate(scalars):
+                scalar.update(float(row[k]))
+            expected = np.array([s.value for s in scalars])
+            got = batch.values
+            assert np.all(np.isfinite(got))
+            np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_constant_stream_stays_pinned(self):
+        """All-duplicate streams (degenerate marker heights) never NaN
+        out or drift off the constant in either implementation."""
+        batch = BatchPSquare(90.0, 2)
+        scalar = PSquarePercentile(90.0)
+        for _ in range(40):
+            batch.update([2.0, 2.0])
+            scalar.update(2.0)
+        assert scalar.value == 2.0
+        np.testing.assert_array_equal(batch.values, [2.0, 2.0])
+
+
+class TestBatchPSquareState:
+    def test_snapshot_restore_round_trip(self, rng):
+        batch = BatchPSquare(90.0, 4)
+        data = rng.lognormal(0.0, 0.4, size=(50, 4))
+        batch.fold_window(data[:30])
+        state = batch.snapshot()
+        fork = BatchPSquare(90.0, 4)
+        fork.restore(state)
+        batch.fold_window(data[30:])
+        fork.fold_window(data[30:])
+        np.testing.assert_array_equal(batch.values, fork.values)
+        assert batch.count == fork.count
+
+    def test_snapshot_is_decoupled_from_live_state(self, rng):
+        batch = BatchPSquare(50.0, 2)
+        batch.fold_window(rng.uniform(0, 1, size=(20, 2)))
+        state = batch.snapshot()
+        before = state["heights"].copy()
+        batch.fold_window(rng.uniform(5, 6, size=(20, 2)))
+        np.testing.assert_array_equal(state["heights"], before)
+
+    def test_restore_rejects_mismatched_geometry(self):
+        state = BatchPSquare(90.0, 3).snapshot()
+        with pytest.raises(ValueError, match="streams"):
+            BatchPSquare(90.0, 4).restore(state)
+        with pytest.raises(ValueError, match="q="):
+            BatchPSquare(50.0, 3).restore(state)
+
+    def test_restore_rejects_degenerate_positions(self, rng):
+        """Repeated marker positions would divide by zero in the
+        parabolic step — the restore boundary refuses them."""
+        batch = BatchPSquare(90.0, 2)
+        batch.fold_window(rng.uniform(0, 1, size=(10, 2)))
+        state = batch.snapshot()
+        state["positions"][0, 1] = state["positions"][0, 2]
+        with pytest.raises(ValueError, match="strictly increasing"):
+            BatchPSquare(90.0, 2).restore(state)
+
+    def test_fold_window_lockstep_with_update(self, rng):
+        data = rng.lognormal(0.0, 0.5, size=(80, 3))
+        folded = BatchPSquare(90.0, 3)
+        folded.fold_window(data)
+        stepped = BatchPSquare(90.0, 3)
+        for row in data:
+            stepped.update(row)
+        np.testing.assert_array_equal(folded.values, stepped.values)
+        assert folded.count == stepped.count == 80
+
+    def test_fold_window_validates_shape(self):
+        with pytest.raises(ValueError, match="block"):
+            BatchPSquare(90.0, 3).fold_window(np.zeros((5, 2)))
+
+    def test_marker_state_exact_during_warmup(self, rng):
+        data = rng.uniform(0, 1, size=(4, 2))
+        batch = BatchPSquare(90.0, 2)
+        batch.fold_window(data)
+        heights, count = batch.marker_state()
+        assert count == 4
+        expected = np.percentile(data, p2_marker_fractions(90.0) * 100.0, axis=0).T
+        np.testing.assert_allclose(heights, expected, atol=1e-12)
+
+
+class TestMarkerFold:
+    def test_single_state_returns_its_q_marker(self, rng):
+        data = rng.lognormal(0.0, 0.5, size=(200, 6))
+        batch = BatchPSquare(90.0, 6)
+        batch.fold_window(data)
+        heights, count = batch.marker_state()
+        folded = fold_marker_states(heights[None], [count], 90.0)
+        np.testing.assert_array_equal(folded, heights[:, 2])
+
+    def test_fold_of_identical_states_is_that_state(self, rng):
+        data = rng.lognormal(0.0, 0.4, size=(300, 4))
+        batch = BatchPSquare(90.0, 4)
+        batch.fold_window(data)
+        heights, count = batch.marker_state()
+        folded = fold_marker_states(
+            np.stack([heights, heights, heights]), [count] * 3, 90.0
+        )
+        # Identical mixtures invert to the shared q marker (up to the
+        # bisection resolution of the zero-width bracket).
+        np.testing.assert_allclose(folded, heights[:, 2], rtol=1e-9)
+
+    def test_fold_of_p2_states_approximates_union_percentile(self, rng):
+        q = 90.0
+        windows = [rng.lognormal(0.0, 0.4, size=(400, 8)) for _ in range(3)]
+        states = []
+        for window in windows:
+            batch = BatchPSquare(q, 8)
+            batch.fold_window(window)
+            states.append(batch.marker_state())
+        folded = fold_marker_states(
+            np.stack([s[0] for s in states]), [s[1] for s in states], q
+        )
+        exact = np.percentile(np.concatenate(windows, axis=0), q, axis=0)
+        np.testing.assert_allclose(folded, exact, rtol=0.1)
+
+    def test_atoms_snap_instead_of_smearing(self):
+        """Mixture atoms (constant streams) must invert to the atom, not
+        a linear smear across the support gap."""
+        const2 = np.full((1, 5), 2.0)
+        const0 = np.zeros((1, 5))
+        folded = fold_marker_states(
+            np.stack([const2, const2, const0]), [50, 50, 50], 90.0
+        )
+        assert folded[0] == pytest.approx(2.0, abs=1e-3)
+
+    def test_count_weighting_shifts_the_estimate(self):
+        low = np.full((1, 5), 1.0)
+        high = np.full((1, 5), 3.0)
+        # 90% of the mass at 1.0 -> the 50th percentile is the low atom;
+        # 90% at 3.0 -> the high atom.
+        mostly_low = fold_marker_states(np.stack([low, high]), [900, 100], 50.0)
+        mostly_high = fold_marker_states(np.stack([low, high]), [100, 900], 50.0)
+        assert mostly_low[0] == pytest.approx(1.0, abs=1e-3)
+        assert mostly_high[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_enriched_fractions_cover_target_and_extremes(self):
+        for q in (50.0, 90.0, 95.0, 99.0):
+            fractions = quantile_fold_fractions(q)
+            assert fractions[0] == 0.0 and fractions[-1] == 1.0
+            assert np.isclose(fractions, q / 100.0).any()
+            assert np.all(np.diff(fractions) > 0)
+
+    def test_validation(self):
+        heights = np.zeros((2, 3, 5))
+        with pytest.raises(ValueError, match="3-D"):
+            fold_marker_states(np.zeros((3, 5)), [1], 90.0)
+        with pytest.raises(ValueError, match="fractions"):
+            fold_marker_states(heights, [1, 1], 90.0, fractions=np.array([0.0, 1.0]))
+        with pytest.raises(ValueError, match="positive sample count"):
+            fold_marker_states(heights, [1, 0], 90.0)
+        with pytest.raises(ValueError, match="target quantile"):
+            fold_marker_states(
+                heights, [1, 1], 90.0, fractions=np.array([0.0, 0.2, 0.4, 0.6, 1.0])
+            )
 
 
 class TestRunningPercentile:

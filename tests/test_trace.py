@@ -34,6 +34,33 @@ class TestReferenceSpec:
         with pytest.raises(ValueError):
             ReferenceSpec(101.0)
 
+    def test_integer_hundred_normalizes_to_peak(self):
+        spec = ReferenceSpec(100)
+        assert spec.is_peak
+        assert spec.percentile == 100.0
+        assert isinstance(spec.percentile, float)
+        assert spec == ReferenceSpec(100.0)
+        assert spec.of(np.array([1.0, 3.0, 2.0])) == 3.0
+
+    def test_float_noise_near_hundred_clamps_to_exact_peak(self):
+        """Sweep arithmetic lands within rounding of 100; those values
+        must take the np.max fast path, not a float-equality miss."""
+        for value in (100.0 - 1e-10, 100.0 * (1.0 - 1e-12), np.float64(100.0)):
+            spec = ReferenceSpec(value)
+            assert spec.is_peak
+            assert spec.percentile == 100.0
+            assert spec.of(np.array([0.5, 4.0, 2.0])) == 4.0
+
+    def test_genuine_percentiles_are_not_clamped(self):
+        for value in (99.5, 99.9999, 90):
+            spec = ReferenceSpec(value)
+            assert not spec.is_peak
+            assert spec.percentile == float(value)
+
+    def test_clearly_out_of_range_still_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceSpec(100.001)
+
 
 class TestUtilizationTraceValidation:
     def test_rejects_empty(self):

@@ -279,6 +279,65 @@ class TestAllocatorFastPathEquivalence:
             )
             assert dict(warm.assignment) == dict(cold.assignment)
 
+    def test_population_swap_same_shape_never_serves_stale_rows(self, rng):
+        """Swapping to a *different* trace population of identical shape
+        and names (fresh matrix values) across periods — with and
+        without an intervening reset — must re-gather every changed row
+        rather than reuse the previous population's entries."""
+        names = [f"vm{i:03d}" for i in range(14)]
+        refs = {vm: float(rng.uniform(0.2, 4.0)) for vm in names}
+        reused = CorrelationAwareAllocator()
+        for period in range(6):
+            traces = TraceSet(
+                UtilizationTrace(rng.uniform(0.0, 4.0, size=50), 1.0, name)
+                for name in names
+            )
+            matrix = CostMatrix.from_traces(traces)
+            if period == 3:
+                reused.reset_cache()
+            warm = reused.allocate(
+                names, refs, None, 8,
+                cost_array=matrix.as_array(), name_index=matrix.name_index,
+            )
+            cold = CorrelationAwareAllocator().allocate(
+                names, refs, None, 8,
+                cost_array=matrix.as_array(), name_index=matrix.name_index,
+            )
+            assert dict(warm.assignment) == dict(cold.assignment)
+            assert warm.num_servers == cold.num_servers
+
+    def test_cached_permutation_is_tamper_proof(self, rng):
+        """The cached slot-permuted matrix is read-only: a caller
+        mutating it in place (which the input-compare fingerprint could
+        never detect) fails loudly instead of corrupting every later
+        period."""
+        traces = _random_traces(rng, 8, 30)
+        matrix = CostMatrix.from_traces(traces)
+        refs = matrix.references()
+        allocator = CorrelationAwareAllocator()
+        allocator.allocate(
+            list(traces.names), refs, None, 8,
+            cost_array=matrix.as_array(), name_index=matrix.name_index,
+        )
+        cache = allocator._reindex_cache
+        assert cache is not None and not cache.permuted.flags.writeable
+        with pytest.raises(ValueError, match="read-only"):
+            cache.permuted[0, 0] = 99.0
+        # ... and incremental row re-gathers still work on the frozen array.
+        perturbed = matrix.as_array().copy()
+        perturbed[2, :] *= 1.01
+        perturbed[:, 2] = perturbed[2, :]
+        perturbed[2, 2] = 1.0
+        warm = allocator.allocate(
+            list(traces.names), refs, None, 8,
+            cost_array=perturbed, name_index=matrix.name_index,
+        )
+        cold = CorrelationAwareAllocator().allocate(
+            list(traces.names), refs, None, 8,
+            cost_array=perturbed, name_index=matrix.name_index,
+        )
+        assert dict(warm.assignment) == dict(cold.assignment)
+
     def test_reset_cache_drops_the_snapshot(self, rng):
         traces = _random_traces(rng, 6, 30)
         matrix = CostMatrix.from_traces(traces)

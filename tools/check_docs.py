@@ -120,6 +120,7 @@ def check_bench_table(errors: list[str]) -> None:
     replay = bench["replay"]["modes"]
     synthesis = bench["synthesis"]
     sweep = bench["allocate_sweep"]
+    horizon = bench["horizon_percentile"]
     expected = {
         "cost-matrix build": [kernels["build_ms"]],
         "streaming cost update": [kernels["update_ms"]],
@@ -130,6 +131,7 @@ def check_bench_table(errors: list[str]) -> None:
             replay["static"]["per_period_ms"],
             replay["dynamic"]["per_period_ms"],
         ],
+        "p2 fold vs rebuild": [horizon["p2_fold_ms"], horizon["rebuild_ms"]],
     }
     for label, values in expected.items():
         quoted = _row_numbers(readme, label)
