@@ -8,8 +8,6 @@ the consolidation churn itself.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.experiments import qos_sweep, robustness
 from repro.experiments.setup2 import Setup2Config, build_fine_traces, run_setup2
 from repro.sim.migration import MigrationCostModel

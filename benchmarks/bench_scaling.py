@@ -15,7 +15,10 @@ per-period accounting) of a 1000-VM / 125-server fleet through the
 fleet-vectorized engine, in both DVFS modes, gated on per-period wall
 time; a *synthesis gate*: coarse-to-fine population refinement at
 N=1000 under the legacy (v1) and batched (v2) RNG stream layouts, gated
-on the v2 speedup; an *allocate-sweep gate*: repeated per-period
+on the v2 speedup; a *datacenter-traces gate*: coarse population
+generation at N=1000 under the legacy (v1) and batched (v2) profile
+layouts, gated on the v2 speedup and the statistical equivalence of the
+two layouts' populations; an *allocate-sweep gate*: repeated per-period
 allocations through one allocator (reindex cache warm, a few cost rows
 changing per period), gated on per-period wall time; and a
 *horizon-percentile gate*: the percentile-mode rolling-horizon cost
@@ -65,6 +68,10 @@ SYNTHESIS_MIN_SPEEDUP = 2.0
 SWEEP_VMS = 1000
 SWEEP_PERIODS = 4
 SWEEP_BUDGET_MS_PER_PERIOD = 100.0
+
+DCGEN_VMS = 1000
+DCGEN_CLUSTERS = 8               # the Setup-2 service mix, at fleet scale
+DCGEN_MIN_SPEEDUP = 3.0
 
 HORIZON_VMS = 1000
 HORIZON_WINDOW_SAMPLES = 240     # 20-minute windows of 5 s samples
@@ -286,6 +293,97 @@ def test_synthesis_gate(report, bench_json_merge):
     assert speedup >= SYNTHESIS_MIN_SPEEDUP, (
         f"v2 synthesis only {speedup:.2f}x faster than v1 at N={SYNTHESIS_VMS}, "
         f"gate is {SYNTHESIS_MIN_SPEEDUP}x"
+    )
+
+
+def test_datacenter_traces_gate(report, bench_json_merge):
+    """Coarse population generation at N=1000: batched v2 layout vs v1.
+
+    ``generate_datacenter_traces`` was the last per-VM Python kernel on
+    the scenario critical path — under ``profile_layout="v1"`` it draws
+    one profile after another to keep its legacy RNG contract, and at
+    N=1000 that costs more than the ``refine_trace_set`` refinement it
+    feeds.  The ``"v2"`` layout draws the whole population in batched
+    blocks; this gate pins its speedup, v1's seeded determinism (true
+    byte-identity against the pre-versioning generator is pinned by the
+    transcribed reference in ``tests/test_datacenter_traces.py``), and
+    the statistical equivalence of the two layouts' populations —
+    matching mean utilization, peak-to-mean ratio, intra-cluster
+    correlation structure, and identical membership maps.
+    """
+    from repro.traces.datacenter import DatacenterTraceConfig, generate_datacenter_traces
+
+    def _config(layout: str) -> DatacenterTraceConfig:
+        return DatacenterTraceConfig(
+            num_vms=DCGEN_VMS, num_clusters=DCGEN_CLUSTERS, profile_layout=layout
+        )
+
+    v1_ms = _time_ms(lambda: generate_datacenter_traces(_config("v1")), 3)
+    v2_ms = _time_ms(lambda: generate_datacenter_traces(_config("v2")), 3)
+    speedup = v1_ms / v2_ms
+
+    v1, membership_v1 = generate_datacenter_traces(_config("v1"))
+    v2, membership_v2 = generate_datacenter_traces(_config("v2"))
+    v1_again, _ = generate_datacenter_traces(_config("v1"))
+
+    # v1 regression probe: the legacy layout stays seeded-deterministic
+    # (its byte-level contract is equivalence-tested against the
+    # transcribed legacy loop in the tier-1 suite).
+    assert np.array_equal(v1.matrix, v1_again.matrix), "v1 layout lost determinism"
+    assert membership_v1 == membership_v2, "membership map differs across layouts"
+
+    def _stats(traces) -> dict[str, float]:
+        matrix = traces.matrix
+        z = matrix - matrix.mean(axis=1, keepdims=True)
+        z /= np.linalg.norm(z, axis=1, keepdims=True)
+        corr = z @ z.T
+        clusters = np.arange(DCGEN_VMS) % DCGEN_CLUSTERS
+        same = clusters[:, None] == clusters[None, :]
+        off = ~np.eye(DCGEN_VMS, dtype=bool)
+        return {
+            "mean_utilization": float(matrix.mean()),
+            "peak_to_mean": float((matrix.max(axis=1) / matrix.mean(axis=1)).mean()),
+            "intra_cluster_corr": float(corr[same & off].mean()),
+            "corr_gap": float(corr[same & off].mean() - corr[~same].mean()),
+        }
+
+    stats_v1, stats_v2 = _stats(v1), _stats(v2)
+    # Statistical-equivalence gates: different RNG streams, same
+    # population model — the evaluation-surface statistics must agree.
+    assert stats_v2["mean_utilization"] == pytest.approx(
+        stats_v1["mean_utilization"], rel=0.25
+    ), "v2 mean utilization diverged from v1"
+    assert stats_v2["peak_to_mean"] == pytest.approx(
+        stats_v1["peak_to_mean"], rel=0.15
+    ), "v2 peak-to-mean ratio diverged from v1"
+    assert stats_v2["intra_cluster_corr"] == pytest.approx(
+        stats_v1["intra_cluster_corr"], abs=0.1
+    ), "v2 intra-cluster correlation diverged from v1"
+    assert stats_v2["corr_gap"] > 0.5, "v2 lost the clustered-correlation structure"
+
+    payload = {
+        "vms": DCGEN_VMS,
+        "clusters": DCGEN_CLUSTERS,
+        "samples": _config("v1").num_samples,
+        "v1_ms": round(v1_ms, 3),
+        "v2_ms": round(v2_ms, 3),
+        "speedup": round(speedup, 2),
+        "min_speedup": DCGEN_MIN_SPEEDUP,
+        "stats_v1": {k: round(val, 4) for k, val in stats_v1.items()},
+        "stats_v2": {k: round(val, 4) for k, val in stats_v2.items()},
+    }
+    path = bench_json_merge("scaling", "datacenter_traces", payload)
+    report(
+        f"coarse population at N={DCGEN_VMS}: v1 {v1_ms:.1f} ms, "
+        f"v2 {v2_ms:.1f} ms ({speedup:.1f}x); mean util "
+        f"{stats_v1['mean_utilization']:.3f}/{stats_v2['mean_utilization']:.3f}, "
+        f"peak-to-mean {stats_v1['peak_to_mean']:.2f}/{stats_v2['peak_to_mean']:.2f}, "
+        f"intra-corr {stats_v1['intra_cluster_corr']:.3f}/"
+        f"{stats_v2['intra_cluster_corr']:.3f}\npersisted to {path}"
+    )
+    assert speedup >= DCGEN_MIN_SPEEDUP, (
+        f"v2 coarse generation only {speedup:.2f}x faster than v1 at "
+        f"N={DCGEN_VMS}, gate is {DCGEN_MIN_SPEEDUP}x"
     )
 
 

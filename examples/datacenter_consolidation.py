@@ -11,9 +11,6 @@ Run:  python examples/datacenter_consolidation.py
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import XEON_E5410
 from repro.analysis.reporting import ascii_histogram, ascii_table
 from repro.experiments.setup2 import Setup2Config, build_fine_traces, run_setup2
 from repro.traces.datacenter import DatacenterTraceConfig

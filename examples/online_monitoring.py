@@ -25,7 +25,6 @@ from repro import (
     PowerManager,
     StreamingCostMatrix,
     TraceSet,
-    UtilizationTrace,
 )
 from repro.analysis.reporting import ascii_table
 from repro.traces.datacenter import DatacenterTraceConfig, generate_datacenter_traces

@@ -59,17 +59,51 @@ def build_parser() -> argparse.ArgumentParser:
     export_parser.add_argument(
         "--seed", type=int, default=None, help="override the generator seed"
     )
+    export_parser.add_argument(
+        "--profile-layout",
+        choices=["v1", "v2"],
+        default="v1",
+        help="coarse-generator RNG layout: v1 reproduces legacy populations "
+        "byte-identically, v2 draws the whole population in batched blocks "
+        "(recommended for large --num-vms)",
+    )
+    export_parser.add_argument(
+        "--num-vms", type=int, default=None, help="override the population size"
+    )
+    export_parser.add_argument(
+        "--num-clusters",
+        type=int,
+        default=None,
+        help="override the service-cluster count (defaults to min(8, num VMs))",
+    )
     return parser
 
 
-def _export_traces(path: str, fine: bool, seed: int | None) -> None:
+def _export_traces(
+    path: str,
+    fine: bool,
+    seed: int | None,
+    profile_layout: str,
+    num_vms: int | None,
+    num_clusters: int | None,
+) -> None:
     from repro.experiments.setup2 import Setup2Config, build_fine_traces
     from repro.traces.datacenter import DatacenterTraceConfig, generate_datacenter_traces
     from repro.traces.io import save_trace_set_csv
 
-    traces_config = (
-        DatacenterTraceConfig(seed=seed) if seed is not None else DatacenterTraceConfig()
-    )
+    overrides = {"profile_layout": profile_layout}
+    if seed is not None:
+        overrides["seed"] = seed
+    if num_vms is not None:
+        overrides["num_vms"] = num_vms
+        # Keep small populations valid without forcing a second flag.
+        overrides["num_clusters"] = min(8, num_vms)
+    if num_clusters is not None:
+        overrides["num_clusters"] = num_clusters
+    try:
+        traces_config = DatacenterTraceConfig(**overrides)
+    except ValueError as error:
+        raise SystemExit(f"repro-experiments export-traces: {error}")
     if fine:
         traces = build_fine_traces(Setup2Config(traces=traces_config))
     else:
@@ -90,7 +124,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "export-traces":
-        _export_traces(args.path, args.fine, args.seed)
+        _export_traces(
+            args.path,
+            args.fine,
+            args.seed,
+            args.profile_layout,
+            args.num_vms,
+            args.num_clusters,
+        )
         return 0
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -9,7 +9,7 @@ inputs, which the property-based tests exploit heavily.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Mapping
 

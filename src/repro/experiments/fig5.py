@@ -18,11 +18,7 @@ import numpy as np
 
 from repro.analysis.reporting import ascii_table
 from repro.experiments.base import ExperimentResult
-from repro.experiments.setup1 import (
-    PLACEMENT_BUILDERS,
-    Setup1Config,
-    shared_corr_scenario,
-)
+from repro.experiments.setup1 import PLACEMENT_BUILDERS, Setup1Config
 from repro.infrastructure.server import OPTERON_6174
 from repro.workloads.queueing import ForkJoinQueueingSimulator, QueueingResult
 

@@ -53,9 +53,21 @@ def _power_saving_pct(results: Mapping[float, ReplayResult]) -> float:
     return (1.0 - p90.avg_power_w / peak.avg_power_w) * 100.0
 
 
-def run(fast: bool = False, workers: int | None = None) -> ExperimentResult:
-    """Sweep the reference percentile through the proposed pipeline."""
-    config = Setup2Config()
+def run(
+    fast: bool = False,
+    workers: int | None = None,
+    config: Setup2Config | None = None,
+) -> ExperimentResult:
+    """Sweep the reference percentile through the proposed pipeline.
+
+    ``config`` overrides the default Setup-2 parameterisation — the hook
+    through which scaled-up sweeps select e.g. a larger population with
+    ``traces.profile_layout="v2"`` (the batched coarse generator; large-N
+    sweeps should default to it).  The versioned layouts ride on the
+    config into every scenario's trace builder, so pool workers rebuild
+    identical populations.
+    """
+    config = config or Setup2Config()
     if fast:
         config = config.fast_variant()
     fine = build_fine_traces(config)

@@ -14,6 +14,8 @@ separating placement quality from last-value predictor error.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.analysis.reporting import ascii_table
@@ -25,7 +27,6 @@ from repro.experiments.setup2 import (
     setup2_scenarios,
 )
 from repro.sim.runner import run_scenarios
-from repro.traces.datacenter import DatacenterTraceConfig
 
 __all__ = ["run", "SEEDS"]
 
@@ -34,23 +35,9 @@ SEEDS = (2013, 5, 7, 42, 99)
 
 
 def _config_for_seed(base: Setup2Config, seed: int) -> Setup2Config:
-    traces = DatacenterTraceConfig(
-        num_vms=base.traces.num_vms,
-        num_clusters=base.traces.num_clusters,
-        duration_s=base.traces.duration_s,
-        seed=seed,
-    )
-    return Setup2Config(
-        traces=traces,
-        spec=base.spec,
-        num_servers=base.num_servers,
-        fine_period_s=base.fine_period_s,
-        synthesis_sigma=base.synthesis_sigma,
-        tperiod_s=base.tperiod_s,
-        dvfs_interval_samples=base.dvfs_interval_samples,
-        allocation=base.allocation,
-        pcp=base.pcp,
-    )
+    # dataclasses.replace keeps every other knob — including the
+    # versioned stream/profile layouts — threaded from the base config.
+    return replace(base, traces=replace(base.traces, seed=seed))
 
 
 def run(fast: bool = False, workers: int | None = None) -> ExperimentResult:

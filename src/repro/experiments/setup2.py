@@ -10,7 +10,7 @@ and Fig 6 runs through :func:`run_setup2`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import partial
 
 import numpy as np
@@ -44,6 +44,15 @@ class Setup2Config:
     population in one batched draw; ``"v1"`` reproduces the byte-exact
     populations of releases that predate the versioned layout.
 
+    The coarse generator's layout rides on ``traces.profile_layout``
+    (see :mod:`repro.traces.datacenter`): the default ``"v1"`` keeps the
+    paper-scale Setup-2 population byte-identical across releases, and
+    :meth:`fast_variant` preserves whichever layout the base config
+    carries.  Large-N sweeps should set ``profile_layout="v2"`` on their
+    trace config — the batched generator is several times faster at
+    fleet scale (gated by ``datacenter_traces`` in
+    ``benchmarks/bench_scaling.py``).
+
     ``horizon_mode`` selects the rolling-horizon cost path of the
     proposed approach (see
     :class:`~repro.core.correlation.RollingCostHorizon`).  The default
@@ -67,12 +76,17 @@ class Setup2Config:
     horizon_mode: str = "p2"
 
     def fast_variant(self) -> "Setup2Config":
-        """A shrunk configuration for smoke tests (6 hours, 16 VMs)."""
-        traces = DatacenterTraceConfig(
+        """A shrunk configuration for smoke tests (6 hours, 16 VMs).
+
+        Every trace-generator knob other than the population size and
+        horizon — seed, profile layout, burst/noise shape — is inherited
+        from the base config via :func:`dataclasses.replace`.
+        """
+        traces = replace(
+            self.traces,
             num_vms=16,
             num_clusters=4,
             duration_s=6 * 3600.0,
-            seed=self.traces.seed,
         )
         return Setup2Config(
             traces=traces,

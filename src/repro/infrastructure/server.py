@@ -10,7 +10,7 @@ Table II.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.infrastructure.dvfs import FrequencyLadder
 from repro.infrastructure.power import (

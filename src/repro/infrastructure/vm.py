@@ -9,7 +9,7 @@ itself never reads it (correlation must be discovered from utilization).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.traces.trace import ReferenceSpec, UtilizationTrace
 

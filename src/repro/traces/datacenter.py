@@ -23,21 +23,56 @@ The generator first produces coarse 5-minute traces (what a monitoring
 system collects) and the caller typically refines them to 5-second samples
 via :func:`repro.traces.synthesis.refine_trace_set`, mirroring the paper's
 methodology.
+
+Profile layouts
+---------------
+Like the synthesis module's ``stream_layout``, the generator is
+seeded-deterministic, so the *order* in which random numbers are consumed
+is part of its public contract.  ``DatacenterTraceConfig.profile_layout``
+versions that order:
+
+``"v1"`` (legacy, the default)
+    One :func:`_cluster_load_profile` call per profile — global, then the
+    cluster profiles, then one own-profile + scale draw + noise block per
+    VM, in VM order.  Byte-identical to every release before the layout
+    was introduced; archived populations and experiment fingerprints
+    built from a seed reproduce exactly.
+
+``"v2"`` (batched)
+    All cluster/VM profiles drawn as whole-population blocks: the stacked
+    sinusoid harmonics of every profile evaluated as one
+    ``(num_profiles, num_samples)`` broadcast, Poisson burst arrivals
+    scattered onto exponential-decay kernels via ``np.add.at``, red noise
+    as a matrix ``cumsum``, and the per-VM mixing/scaling/noise applied
+    as single array ops over the demand matrix.  Same population
+    statistics (cluster structure, peak-to-mean ratios, membership map),
+    different — still deterministic — RNG stream, and no per-VM Python
+    loop; several times faster at fleet scale.  New large-N sweeps
+    should default to this layout.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.traces.trace import TraceSet
 
 __all__ = [
+    "PROFILE_LAYOUTS",
     "DatacenterTraceConfig",
     "generate_datacenter_traces",
     "select_top_utilization",
 ]
+
+#: Recognised profile-generation RNG layouts (see module docstring).
+PROFILE_LAYOUTS = ("v1", "v2")
+
+#: Candidate sub-hour oscillation periods (divisors of the hour), shared
+#: by both layouts — periods divide the hour so cross-service phase
+#: relationships are stable from one placement period to the next.
+_SUBHOUR_PERIOD_CHOICES = (600.0, 900.0, 1200.0, 1800.0, 3600.0)
 
 
 @dataclass(frozen=True)
@@ -64,8 +99,14 @@ class DatacenterTraceConfig:
     burst_decay_s: float = 1800.0
     noise_sigma: float = 0.08
     seed: int = 2013
+    profile_layout: str = "v1"
 
     def __post_init__(self) -> None:
+        if self.profile_layout not in PROFILE_LAYOUTS:
+            raise ValueError(
+                f"unknown profile_layout {self.profile_layout!r}; "
+                f"expected one of {PROFILE_LAYOUTS}"
+            )
         if self.num_vms < 1:
             raise ValueError("need at least one VM")
         if not 1 <= self.num_clusters <= self.num_vms:
@@ -131,9 +172,8 @@ def _cluster_load_profile(
     # rely on), while the period/phase diversity across services gives
     # mixed co-location sets genuine peak cancellation; bursts remain the
     # non-stationary part.
-    period_choices = [600.0, 900.0, 1200.0, 1800.0, 3600.0]
     amplitude = config.subhour_amplitude / np.sqrt(2.0)
-    for period in rng.choice(period_choices, size=2, replace=False):
+    for period in rng.choice(list(_SUBHOUR_PERIOD_CHOICES), size=2, replace=False):
         phase = rng.uniform(0.0, 2.0 * np.pi)
         base += amplitude * np.sin(2.0 * np.pi * t / float(period) + phase)
 
@@ -167,24 +207,18 @@ def _cluster_load_profile(
     return np.maximum(profile, 0.05)
 
 
-def generate_datacenter_traces(
-    config: DatacenterTraceConfig | None = None,
-) -> tuple[TraceSet, dict[str, str]]:
-    """Generate the synthetic coarse trace population.
+def _population_matrix_v1(
+    config: DatacenterTraceConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """The legacy per-VM draw order (``profile_layout="v1"``).
 
-    Returns
-    -------
-    (TraceSet, dict)
-        The coarse 5-minute traces (named ``vm00`` ... ``vmNN``) and a
-        ``{vm_name: cluster_name}`` mapping recording ground-truth service
-        membership (used by tests and by the Fig-3 experiment, never by the
-        allocator itself — the allocator must discover correlation from the
-        cost matrix alone).
+    The draw order below is part of the generator's seeded contract —
+    global profile, cluster profiles, cluster scales, then one
+    own-profile, one scale draw and one noise block per VM, in VM order —
+    so the loop stays; byte-identity against the pre-versioning generator
+    is pinned by a transcribed reference in
+    ``tests/test_datacenter_traces.py``.
     """
-    if config is None:
-        config = DatacenterTraceConfig()
-    rng = np.random.default_rng(config.seed)
-
     # A datacenter-wide component (business hours, batch windows) on top
     # of per-service signals.  This is what makes correlations "high and
     # fast-changing" across the *whole* population — the regime where the
@@ -198,11 +232,6 @@ def generate_datacenter_traces(
         g * global_profile + (1.0 - g) * _cluster_load_profile(config, rng)
         for _ in range(config.num_clusters)
     ]
-    # Deterministic round-robin assignment keeps cluster sizes balanced;
-    # the rng-driven parts below make individual VMs heterogeneous.
-    membership = {
-        f"vm{i:02d}": f"cluster{i % config.num_clusters}" for i in range(config.num_vms)
-    }
 
     rho = config.intra_cluster_correlation
     # Sizing is per *service*: a cluster's members run the same software
@@ -215,13 +244,7 @@ def generate_datacenter_traces(
         config.mean_utilization * rng.lognormal(mean=0.0, sigma=0.30)
         for _ in range(config.num_clusters)
     ]
-    # Per-VM signals are assembled into one demand matrix and handed to
-    # the fast TraceSet.from_matrix constructor: the draw order below is
-    # part of the generator's seeded contract (one own-profile, one
-    # scale draw and one noise block per VM, in VM order), so the loop
-    # stays — only the per-trace object round trip is skipped.
     matrix = np.empty((config.num_vms, config.num_samples), dtype=float)
-    names = [f"vm{i:02d}" for i in range(config.num_vms)]
     for i in range(config.num_vms):
         cluster_index = i % config.num_clusters
         shared = cluster_profiles[cluster_index]
@@ -241,6 +264,188 @@ def generate_datacenter_traces(
 
         matrix[i] = np.clip(signal, 0.0, config.vm_core_cap)
 
+    return matrix
+
+
+def _harmonic_stack_v2(
+    config: DatacenterTraceConfig, rng: np.random.Generator, num_profiles: int
+) -> np.ndarray:
+    """Every profile's sinusoid base as one ``(num_profiles, n)`` broadcast.
+
+    Each profile stacks four harmonics — the diurnal sinusoid, its
+    secondary harmonic, and two sub-hour oscillations with
+    profile-specific periods — evaluated in a single
+    ``(num_profiles, 4, num_samples)`` broadcast.
+
+    v2 draw order (per block, over all profiles at once): diurnal +
+    secondary-harmonic phases as one ``(num_profiles, 2)`` uniform block;
+    one ``(num_profiles, 5)`` uniform key block whose per-row argsort
+    picks the two sub-hour periods (the same
+    choice-without-replacement distribution as v1's per-profile
+    ``rng.choice``); then the sub-hour phases as one
+    ``(num_profiles, 2)`` uniform block.
+    """
+    n = config.num_samples
+    t = np.arange(n, dtype=float) * config.period_s
+    day = 24 * 3600.0
+
+    diurnal_phases = rng.uniform(0.0, 2.0 * np.pi, size=(num_profiles, 2))
+    keys = rng.random((num_profiles, len(_SUBHOUR_PERIOD_CHOICES)))
+    chosen = np.argsort(keys, axis=1)[:, :2]
+    periods = np.asarray(_SUBHOUR_PERIOD_CHOICES)[chosen]
+    subhour_phases = rng.uniform(0.0, 2.0 * np.pi, size=(num_profiles, 2))
+
+    omega = np.empty((num_profiles, 4))
+    omega[:, 0] = 2.0 * np.pi / day
+    omega[:, 1] = 4.0 * np.pi / day
+    omega[:, 2:] = 2.0 * np.pi / periods
+    phases = np.concatenate([diurnal_phases, subhour_phases], axis=1)
+    amplitude = config.subhour_amplitude / np.sqrt(2.0)
+    amps = np.array(
+        [
+            config.diurnal_amplitude,
+            0.25 * config.diurnal_amplitude,
+            amplitude,
+            amplitude,
+        ]
+    )
+    waves = np.sin(omega[:, :, None] * t[None, None, :] + phases[:, :, None])
+    return 1.0 + np.einsum("h,phn->pn", amps, waves)
+
+
+def _burst_matrix_v2(
+    config: DatacenterTraceConfig, rng: np.random.Generator, num_profiles: int
+) -> np.ndarray:
+    """Poisson burst arrivals for all bursty profiles, scattered at once.
+
+    v2 draw order: one Poisson count block over the profiles, then one
+    start block and one height block over all bursts.  Each burst is an
+    exponential-decay kernel truncated at three decay constants (and at
+    the horizon end), accumulated into the ``(num_profiles, n)`` matrix
+    with ``np.add.at`` so overlapping bursts sum like v1's ``+=``.
+    """
+    n = config.num_samples
+    burst = np.zeros((num_profiles, n))
+    expected_bursts = config.burst_rate_per_day * config.duration_s / (24 * 3600.0)
+    counts = rng.poisson(expected_bursts, size=num_profiles)
+    total = int(counts.sum())
+    if total == 0:
+        return burst
+    starts = rng.integers(0, n, size=total)
+    heights = config.burst_amplitude * rng.uniform(0.5, 1.0, size=total)
+
+    decay_samples = max(1, int(round(config.burst_decay_s / config.period_s)))
+    offsets = np.arange(min(n, decay_samples * 3))
+    kernel = np.exp(-offsets / decay_samples)
+    rows = np.repeat(np.arange(num_profiles), counts)
+    positions = starts[:, None] + offsets[None, :]
+    valid = positions < n
+    np.add.at(
+        burst,
+        (np.broadcast_to(rows[:, None], positions.shape)[valid], positions[valid]),
+        (heights[:, None] * kernel[None, :])[valid],
+    )
+    return burst
+
+
+def _red_noise_matrix_v2(
+    config: DatacenterTraceConfig, rng: np.random.Generator, num_profiles: int
+) -> np.ndarray:
+    """Red (integrated) noise for all bursty profiles as one matrix cumsum.
+
+    v2 draw order: one ``(num_profiles, n)`` standard-normal block.  Each
+    row is integrated, centred and renormalized to a 0.15 excursion like
+    v1's per-profile loop body.
+    """
+    red = np.cumsum(rng.standard_normal((num_profiles, config.num_samples)), axis=1)
+    red -= red.mean(axis=1, keepdims=True)
+    spread = np.abs(red).max(axis=1, keepdims=True)
+    np.divide(red, spread, out=red, where=spread > 0)
+    red *= 0.15
+    return red
+
+
+def _population_matrix_v2(
+    config: DatacenterTraceConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """The batched whole-population draw order (``profile_layout="v2"``).
+
+    Profiles are stacked global-first (index 0, smooth: no bursts or red
+    noise), then the ``num_clusters`` cluster profiles, then one own
+    profile per VM — and every generation stage runs over that whole
+    stack as array ops: the harmonic base as one broadcast, bursts as one
+    ``np.add.at`` scatter, red noise as one matrix ``cumsum``, and the
+    per-VM mixing/scaling/noise as single ops over the demand matrix.
+
+    Same population statistics as v1 (the per-profile distributions are
+    unchanged), different — still seeded-deterministic — RNG stream: the
+    draws of all profiles come from shared blocks, so the stream position
+    of every parameter is a pure function of the population geometry.
+    """
+    num_vms, num_clusters = config.num_vms, config.num_clusters
+    num_profiles = 1 + num_clusters + num_vms
+
+    profiles = _harmonic_stack_v2(config, rng, num_profiles)
+    # Flash crowds and hour-scale wander are service-local: the global
+    # profile (row 0) stays smooth, every other profile gets both.
+    profiles[1:] += _burst_matrix_v2(config, rng, num_profiles - 1)
+    profiles[1:] += _red_noise_matrix_v2(config, rng, num_profiles - 1)
+    np.maximum(profiles, 0.05, out=profiles)
+
+    global_profile = profiles[0]
+    cluster_profiles = profiles[1 : 1 + num_clusters]
+    own = profiles[1 + num_clusters :]
+
+    g = config.global_correlation
+    shared = g * global_profile[None, :] + (1.0 - g) * cluster_profiles
+
+    cluster_scale = config.mean_utilization * rng.lognormal(
+        mean=0.0, sigma=0.30, size=num_clusters
+    )
+    vm_scale = rng.lognormal(mean=0.0, sigma=0.08, size=num_vms)
+
+    cluster_index = np.arange(num_vms) % num_clusters
+    rho = config.intra_cluster_correlation
+    mixed = rho * shared[cluster_index] + (1.0 - rho) * own
+    scale = cluster_scale[cluster_index] * vm_scale
+    signal = mixed / mixed.mean(axis=1, keepdims=True) * scale[:, None]
+    signal *= rng.lognormal(mean=0.0, sigma=config.noise_sigma, size=signal.shape)
+    return np.clip(signal, 0.0, config.vm_core_cap)
+
+
+def generate_datacenter_traces(
+    config: DatacenterTraceConfig | None = None,
+) -> tuple[TraceSet, dict[str, str]]:
+    """Generate the synthetic coarse trace population.
+
+    ``config.profile_layout`` selects the RNG layout: ``"v1"`` (default)
+    reproduces the legacy per-VM draw order byte-for-byte, ``"v2"`` draws
+    the whole population in batched blocks (same statistics, different
+    versioned stream; see the module docstring).
+
+    Returns
+    -------
+    (TraceSet, dict)
+        The coarse 5-minute traces (named ``vm00`` ... ``vmNN``) and a
+        ``{vm_name: cluster_name}`` mapping recording ground-truth service
+        membership (used by tests and by the Fig-3 experiment, never by the
+        allocator itself — the allocator must discover correlation from the
+        cost matrix alone).
+    """
+    if config is None:
+        config = DatacenterTraceConfig()
+    rng = np.random.default_rng(config.seed)
+
+    build = _population_matrix_v2 if config.profile_layout == "v2" else _population_matrix_v1
+    matrix = build(config, rng)
+
+    # Deterministic round-robin assignment keeps cluster sizes balanced
+    # (identical across layouts); the rng-driven scales/noise make
+    # individual VMs heterogeneous.
+    names = [f"vm{i:02d}" for i in range(config.num_vms)]
+    membership = {
+        name: f"cluster{i % config.num_clusters}" for i, name in enumerate(names)
+    }
     matrix.flags.writeable = False
     return TraceSet.from_matrix(matrix, names, config.period_s), membership
 
@@ -256,6 +461,10 @@ def select_top_utilization(traces: TraceSet, n: int) -> TraceSet:
     if not 1 <= n <= traces.num_traces:
         raise ValueError(f"cannot select top {n} of {traces.num_traces} traces")
     means = traces.matrix.mean(axis=1)
-    top = sorted(np.argsort(means)[::-1][:n])
+    # kind="stable" makes tie-breaking deterministic at every population
+    # size (the default introsort is only incidentally stable for tiny
+    # arrays): among equal means, the later positional VM wins the last
+    # slot — pinned by the tie-order regression test.
+    top = sorted(np.argsort(means, kind="stable")[::-1][:n])
     names = [traces.names[i] for i in top]
     return traces.subset(names)

@@ -1,0 +1,142 @@
+"""The bench-trajectory comparator (``tools/compare_bench.py``).
+
+CI runs the comparator after the scaling gates; these tests pin its
+semantics — which entries gate, which merely report, and what counts as
+a missing key — plus positive coverage that the committed
+``BENCH_scaling.json`` passes against itself.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+COMPARATOR = REPO_ROOT / "tools" / "compare_bench.py"
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location("compare_bench", COMPARATOR)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def comparator():
+    return _load()
+
+
+@pytest.fixture(scope="module")
+def committed():
+    return json.loads((REPO_ROOT / "BENCH_scaling.json").read_text())
+
+
+def test_committed_trajectory_passes_against_itself(comparator, committed):
+    failures, report = comparator.compare(committed, committed)
+    assert failures == []
+    assert report  # every gated entry present produces a report line
+
+
+def test_every_gated_entry_exists_in_committed_json(comparator, committed):
+    """The gate list and the committed trajectory must not drift apart."""
+    for section, dotted, _direction in comparator.GATED_ENTRIES:
+        assert comparator.resolve(committed, section, dotted) is not None, (
+            f"gated entry {section}.{dotted} missing from committed BENCH_scaling.json"
+        )
+
+
+def test_speedup_regression_detected(comparator, committed):
+    fresh = json.loads(json.dumps(committed))
+    fresh["datacenter_traces"]["speedup"] = committed["datacenter_traces"]["speedup"] / 2
+    failures, _ = comparator.compare(fresh, committed)
+    assert any("datacenter_traces.speedup" in f for f in failures)
+
+
+def test_small_drift_tolerated(comparator, committed):
+    fresh = json.loads(json.dumps(committed))
+    fresh["synthesis"]["speedup"] = committed["synthesis"]["speedup"] * 0.9
+    failures, _ = comparator.compare(fresh, committed)
+    assert failures == []
+
+
+def test_lower_is_better_direction(comparator, committed):
+    fresh = json.loads(json.dumps(committed))
+    fresh["horizon_percentile"]["ratio_vs_peak"] = (
+        committed["horizon_percentile"]["ratio_vs_peak"] * 1.5
+    )
+    failures, _ = comparator.compare(fresh, committed)
+    assert any("ratio_vs_peak" in f for f in failures)
+    # Improving (shrinking) a lower-is-better entry never fails.
+    fresh["horizon_percentile"]["ratio_vs_peak"] = (
+        committed["horizon_percentile"]["ratio_vs_peak"] * 0.5
+    )
+    failures, _ = comparator.compare(fresh, committed)
+    assert failures == []
+
+
+def test_missing_gate_key_fails(comparator, committed):
+    fresh = json.loads(json.dumps(committed))
+    del fresh["synthesis"]["speedup"]
+    failures, _ = comparator.compare(fresh, committed)
+    assert any("synthesis.speedup missing" in f for f in failures)
+
+
+def test_missing_section_fails(comparator, committed):
+    fresh = json.loads(json.dumps(committed))
+    del fresh["datacenter_traces"]
+    failures, _ = comparator.compare(fresh, committed)
+    assert any("section 'datacenter_traces' missing" in f for f in failures)
+    assert any("datacenter_traces.speedup missing" in f for f in failures)
+
+
+def test_retired_gate_skipped_when_deleted_from_committed(comparator, committed):
+    """Deleting a committed key retires its gate (the conftest caveat)."""
+    slimmed = json.loads(json.dumps(committed))
+    del slimmed["horizon_percentile"]
+    fresh = json.loads(json.dumps(slimmed))
+    failures, _ = comparator.compare(fresh, slimmed)
+    assert failures == []
+
+
+def test_wall_clock_entries_are_informational(comparator, committed):
+    """A 10x ms blowup reports but never fails — boxes differ."""
+    fresh = json.loads(json.dumps(committed))
+    fresh["kernels"]["sizes"]["1000"]["build_ms"] = (
+        committed["kernels"]["sizes"]["1000"]["build_ms"] * 10
+    )
+    failures, report = comparator.compare(fresh, committed)
+    assert failures == []
+    assert any("build_ms" in line and "informational" in line for line in report)
+
+
+def test_cli_exit_codes(tmp_path, committed):
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(committed))
+    result = subprocess.run(
+        [sys.executable, str(COMPARATOR), str(good)], capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "bench comparison passed" in result.stdout
+
+    bad_payload = json.loads(json.dumps(committed))
+    bad_payload["datacenter_traces"]["speedup"] = 0.1
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(bad_payload))
+    result = subprocess.run(
+        [sys.executable, str(COMPARATOR), str(bad)], capture_output=True, text=True
+    )
+    assert result.returncode == 1
+    assert "FAILED" in result.stdout
+
+    result = subprocess.run(
+        [sys.executable, str(COMPARATOR), str(tmp_path / "absent.json")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 1

@@ -7,10 +7,12 @@ import pytest
 
 from repro.analysis.stats import pearson
 from repro.traces.datacenter import (
+    PROFILE_LAYOUTS,
     DatacenterTraceConfig,
     generate_datacenter_traces,
     select_top_utilization,
 )
+from repro.traces.trace import TraceSet
 
 
 @pytest.fixture(scope="module")
@@ -112,6 +114,187 @@ class TestGeneratedPopulation:
             assert spread < 1.8
 
 
+# ---------------------------------------------------------------------------
+# The transcribed legacy generator: the exact per-VM draw order the
+# repository shipped before profile_layout was introduced, kept here as
+# the byte-identity reference for "v1" (the repo's equivalence-testing
+# convention — see docs/architecture.md).
+# ---------------------------------------------------------------------------
+
+
+def _legacy_cluster_load_profile(config, rng, include_bursts=True, include_red_noise=True):
+    n = config.num_samples
+    t = np.arange(n, dtype=float) * config.period_s
+    day = 24 * 3600.0
+    phase = rng.uniform(0.0, 2.0 * np.pi)
+    harmonic_phase = rng.uniform(0.0, 2.0 * np.pi)
+    base = 1.0 + config.diurnal_amplitude * np.sin(2.0 * np.pi * t / day + phase)
+    base += 0.25 * config.diurnal_amplitude * np.sin(4.0 * np.pi * t / day + harmonic_phase)
+
+    period_choices = [600.0, 900.0, 1200.0, 1800.0, 3600.0]
+    amplitude = config.subhour_amplitude / np.sqrt(2.0)
+    for period in rng.choice(period_choices, size=2, replace=False):
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        base += amplitude * np.sin(2.0 * np.pi * t / float(period) + phase)
+
+    burst = np.zeros(n)
+    if include_bursts:
+        expected_bursts = config.burst_rate_per_day * config.duration_s / day
+        num_bursts = int(rng.poisson(expected_bursts))
+        decay_samples = max(1, int(round(config.burst_decay_s / config.period_s)))
+        for _ in range(num_bursts):
+            start = int(rng.integers(0, n))
+            height = config.burst_amplitude * rng.uniform(0.5, 1.0)
+            length = min(n - start, decay_samples * 3)
+            profile = height * np.exp(-np.arange(length) / decay_samples)
+            burst[start : start + length] += profile
+
+    red = np.zeros(n)
+    if include_red_noise:
+        white = rng.normal(0.0, 1.0, size=n)
+        red = np.cumsum(white)
+        red -= red.mean()
+        spread = np.abs(red).max()
+        if spread > 0:
+            red = red / spread * 0.15
+
+    profile = base + burst + red
+    return np.maximum(profile, 0.05)
+
+
+def _legacy_generate(config):
+    rng = np.random.default_rng(config.seed)
+    global_profile = _legacy_cluster_load_profile(
+        config, rng, include_bursts=False, include_red_noise=False
+    )
+    g = config.global_correlation
+    cluster_profiles = [
+        g * global_profile + (1.0 - g) * _legacy_cluster_load_profile(config, rng)
+        for _ in range(config.num_clusters)
+    ]
+    membership = {
+        f"vm{i:02d}": f"cluster{i % config.num_clusters}" for i in range(config.num_vms)
+    }
+    rho = config.intra_cluster_correlation
+    cluster_scale = [
+        config.mean_utilization * rng.lognormal(mean=0.0, sigma=0.30)
+        for _ in range(config.num_clusters)
+    ]
+    matrix = np.empty((config.num_vms, config.num_samples), dtype=float)
+    for i in range(config.num_vms):
+        cluster_index = i % config.num_clusters
+        shared = cluster_profiles[cluster_index]
+        own = _legacy_cluster_load_profile(config, rng)
+        mixed = rho * shared + (1.0 - rho) * own
+        scale = cluster_scale[cluster_index] * rng.lognormal(mean=0.0, sigma=0.08)
+        signal = mixed / mixed.mean() * scale
+        noise = rng.lognormal(mean=0.0, sigma=config.noise_sigma, size=signal.size)
+        signal = signal * noise
+        matrix[i] = np.clip(signal, 0.0, config.vm_core_cap)
+    return matrix, membership
+
+
+class TestProfileLayoutContract:
+    """The versioned coarse-generator RNG layouts (v1 legacy / v2 batched)."""
+
+    LOCKSTEP_CONFIGS = (
+        dict(num_vms=12, num_clusters=3, duration_s=6 * 3600.0, seed=5),
+        dict(num_vms=40, num_clusters=8, seed=2013),
+        dict(num_vms=9, num_clusters=4, duration_s=3 * 3600.0, seed=17,
+             burst_rate_per_day=48.0, noise_sigma=0.0),
+        dict(num_vms=5, num_clusters=1, duration_s=2 * 3600.0, seed=3,
+             burst_rate_per_day=0.0, global_correlation=0.0),
+    )
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError):
+            DatacenterTraceConfig(profile_layout="v3")
+        assert PROFILE_LAYOUTS == ("v1", "v2")
+
+    @pytest.mark.parametrize("kwargs", LOCKSTEP_CONFIGS)
+    def test_v1_byte_identical_to_legacy_generator(self, kwargs):
+        """profile_layout="v1" (the default) IS the pre-versioning stream."""
+        traces, membership = generate_datacenter_traces(DatacenterTraceConfig(**kwargs))
+        legacy_matrix, legacy_membership = _legacy_generate(
+            DatacenterTraceConfig(**kwargs)
+        )
+        assert np.array_equal(traces.matrix, legacy_matrix)
+        assert membership == legacy_membership
+
+    def test_default_layout_is_v1(self):
+        assert DatacenterTraceConfig().profile_layout == "v1"
+
+    def _pair(self, **kwargs):
+        v1, m1 = generate_datacenter_traces(
+            DatacenterTraceConfig(profile_layout="v1", **kwargs)
+        )
+        v2, m2 = generate_datacenter_traces(
+            DatacenterTraceConfig(profile_layout="v2", **kwargs)
+        )
+        return v1, m1, v2, m2
+
+    def test_v2_deterministic_and_distinct_from_v1(self):
+        kwargs = dict(num_vms=12, num_clusters=3, duration_s=6 * 3600.0, seed=5)
+        config = DatacenterTraceConfig(profile_layout="v2", **kwargs)
+        a, _ = generate_datacenter_traces(config)
+        b, _ = generate_datacenter_traces(config)
+        assert np.array_equal(a.matrix, b.matrix)
+        v1, _, v2, _ = self._pair(**kwargs)
+        assert not np.array_equal(v1.matrix, v2.matrix)
+
+    def test_v2_membership_map_identical_to_v1(self):
+        _, m1, _, m2 = self._pair(num_vms=13, num_clusters=4, duration_s=6 * 3600.0, seed=7)
+        assert m1 == m2
+
+    def test_v2_respects_cap_and_floor(self):
+        _, _, v2, _ = self._pair(num_vms=12, num_clusters=3, duration_s=6 * 3600.0, seed=5)
+        assert v2.matrix.max() <= 4.0 + 1e-9
+        assert v2.matrix.min() >= 0.0
+
+    def test_v2_population_statistics_match_v1(self):
+        """Same distribution, different stream: the population-level
+        statistics the evaluation relies on agree across layouts.
+
+        Sized so the stats concentrate (the population mean is dominated
+        by the per-cluster lognormal scale draws, so many clusters are
+        needed before two independent streams agree tightly).
+        """
+        kwargs = dict(num_vms=240, num_clusters=30, seed=11)
+        v1, membership, v2, _ = self._pair(**kwargs)
+
+        # Mean utilization: same scale distribution, different stream.
+        assert v2.matrix.mean() == pytest.approx(v1.matrix.mean(), rel=0.2)
+
+        # Under-utilization with sharp peaks: comparable peak-to-mean.
+        def peak_to_mean(ts):
+            return float((ts.matrix.max(axis=1) / ts.matrix.mean(axis=1)).mean())
+
+        assert peak_to_mean(v2) == pytest.approx(peak_to_mean(v1), rel=0.15)
+        assert peak_to_mean(v2) > 1.3
+
+        # Clustered correlation: intra-cluster pairs co-move much more
+        # strongly than cross-cluster pairs, like v1 (one normalized
+        # Gram matrix instead of ~29k pearson() calls).
+        def intra_minus_cross(ts):
+            matrix = ts.matrix
+            z = matrix - matrix.mean(axis=1, keepdims=True)
+            z /= np.linalg.norm(z, axis=1, keepdims=True)
+            corr = z @ z.T
+            clusters = np.array([membership[name] for name in ts.names])
+            same = clusters[:, None] == clusters[None, :]
+            off = ~np.eye(len(clusters), dtype=bool)
+            return (
+                float(corr[same & off].mean() - corr[~same].mean()),
+                float(corr[same & off].mean()),
+            )
+
+        gap_v1, intra_v1 = intra_minus_cross(v1)
+        gap_v2, intra_v2 = intra_minus_cross(v2)
+        assert gap_v2 > 0.5
+        assert intra_v2 == pytest.approx(intra_v1, abs=0.1)
+        assert gap_v2 == pytest.approx(gap_v1, abs=0.1)
+
+
 class TestTopUtilizationSelection:
     def test_keeps_highest_mean(self, small_population):
         _, traces, _ = small_population
@@ -132,3 +315,32 @@ class TestTopUtilizationSelection:
             select_top_utilization(traces, 0)
         with pytest.raises(ValueError):
             select_top_utilization(traces, 13)
+
+    def test_tie_order_regression(self):
+        """Ties at the selection cutoff resolve to the later positional VMs.
+
+        ``select_top_utilization`` ranks with a stable ascending argsort
+        read backwards, so among equal-mean VMs the *highest* original
+        index wins the last slot.  That ordering is part of the seeded
+        pipeline's determinism (VM indices feed every downstream stage)
+        — this pins it so a reimplementation (e.g. ``np.argpartition``)
+        cannot silently reshuffle tied populations.
+        """
+        matrix = np.ones((5, 4))
+        matrix[1] *= 3.0  # one clear winner, four tied at 1.0
+        traces = TraceSet.from_matrix(
+            matrix, ["vm0", "vm1", "vm2", "vm3", "vm4"], 300.0
+        )
+        top = select_top_utilization(traces, 3)
+        # vm1 (highest mean) plus the two *last* tied VMs, positional order.
+        assert top.names == ("vm1", "vm3", "vm4")
+        # Selecting everything keeps the original order regardless of ties.
+        assert select_top_utilization(traces, 5).names == traces.names
+
+        # Large tied population: numpy's default introsort happens to be
+        # stable below ~16 elements, so only a big array proves the
+        # explicit kind="stable" contract.
+        big = np.ones((64, 4))
+        big[1] *= 3.0
+        wide = TraceSet.from_matrix(big, [f"vm{i:02d}" for i in range(64)], 300.0)
+        assert select_top_utilization(wide, 3).names == ("vm01", "vm62", "vm63")

@@ -71,13 +71,21 @@ class TestModelValidation:
 
 
 class TestConservation:
-    def test_completed_plus_dropped_equals_arrivals(self):
+    def test_completion_accounting_consistent(self):
+        """Every completed query is recorded exactly once, everywhere.
+
+        ``arrival_times_by_cluster`` records the arrival stamp of each
+        *completed* query (the simulator appends it in the completion
+        branch), so its size, ``completed_queries`` and the response
+        array must agree exactly; queries still in flight at the
+        duration cutoff are counted as dropped, never silently lost.
+        """
         config = QueueingConfig(duration_s=60.0, qps_per_client=0.2, seed=3)
         sim = ForkJoinQueueingSimulator([one_cluster()], [Region("r1", 8)], config)
         result = sim.run()
-        arrivals = result.arrival_times_by_cluster["C1"].size + result.dropped_queries
-        assert result.completed_queries + result.dropped_queries >= result.completed_queries
+        assert result.arrival_times_by_cluster["C1"].size == result.completed_queries
         assert result.completed_queries == result.responses_by_cluster["C1"].size
+        assert result.dropped_queries >= 0
         assert result.completed_queries > 0
 
     def test_responses_positive_and_bounded_below_by_overhead(self):

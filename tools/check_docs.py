@@ -119,6 +119,7 @@ def check_bench_table(errors: list[str]) -> None:
     kernels = bench["kernels"]["sizes"]["1000"]
     replay = bench["replay"]["modes"]
     synthesis = bench["synthesis"]
+    dcgen = bench["datacenter_traces"]
     sweep = bench["allocate_sweep"]
     horizon = bench["horizon_percentile"]
     expected = {
@@ -126,6 +127,7 @@ def check_bench_table(errors: list[str]) -> None:
         "streaming cost update": [kernels["update_ms"]],
         "indexed fast path, cold": [kernels["allocate_ms"]],
         "warm cross-period sweep": [sweep["warm_ms"]],
+        "profile v2 vs v1": [dcgen["v2_ms"], dcgen["v1_ms"]],
         "synthesis v2 vs v1": [synthesis["v2_ms"], synthesis["v1_ms"]],
         "static / dynamic v/f": [
             replay["static"]["per_period_ms"],
