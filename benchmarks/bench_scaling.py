@@ -59,6 +59,10 @@ REPLAY_SERVERS = 125
 REPLAY_PERIODS = 3  # 1 warm-up + 2 measured
 REPLAY_BUDGET_MS_PER_PERIOD = 30.0
 
+FAULTY_REPLAY_CRASH_RATE = 0.01
+FAULTY_REPLAY_MAX_RATIO = 2.0    # faulty replay vs plain replay
+FAULTY_REPLAY_MASKED_MAX_RATIO = 1.05  # zero-rate schedule vs plain
+
 SYNTHESIS_VMS = 1000
 SYNTHESIS_WINDOWS = 288          # 24 h of 5-minute monitoring samples
 SYNTHESIS_FINE_PERIOD_S = 5.0
@@ -236,6 +240,100 @@ def test_replay_gate(report, bench_json_merge):
     assert per_period < REPLAY_BUDGET_MS_PER_PERIOD, (
         f"1000-VM dynamic replay took {per_period} ms per period, "
         f"budget is {REPLAY_BUDGET_MS_PER_PERIOD} ms"
+    )
+
+
+def test_replay_faulty_gate(report, bench_json_merge):
+    """Fault-injection overhead at 1000 VMs / 125 servers.
+
+    Three replays of the same fleet: the plain engine (``faults=None``),
+    a zero-rate schedule (all the masking machinery, no actual faults),
+    and a 1% per-period crash rate with stragglers.  Two gates: the
+    zero-rate run must stay within 5% of the plain one (the fault-free
+    path pays almost nothing for the feature existing), and the faulty
+    run within 2x (evacuations + capacity scaling must not dominate the
+    replay).  Correctness probe: the zero-rate run's energy is
+    byte-identical to the plain run's.
+    """
+    from repro.sim.faults import FaultConfig
+
+    rng = np.random.default_rng(REPLAY_VMS + 1)
+    matrix = rng.uniform(
+        0.05, 0.85, size=(REPLAY_VMS, REPLAY_PERIODS * WINDOW_SAMPLES)
+    )
+    traces = TraceSet.from_matrix(
+        matrix, [f"vm{i:04d}" for i in range(REPLAY_VMS)], 5.0
+    )
+    measured_periods = REPLAY_PERIODS - 1
+    variants = {
+        "plain": None,
+        "masked": FaultConfig(crash_rate=0.0, degraded_rate=0.0),
+        "faulty": FaultConfig(
+            seed=2013,
+            crash_rate=FAULTY_REPLAY_CRASH_RATE,
+            degraded_rate=FAULTY_REPLAY_CRASH_RATE / 2,
+        ),
+    }
+
+    results: dict[str, dict[str, float]] = {}
+    probes = {}
+    for label, faults in variants.items():
+        config = ReplayConfig(tperiod_s=3600.0, dvfs_mode="static", faults=faults)
+
+        def _run():
+            approach = BfdApproach(
+                XEON_E5410.n_cores,
+                XEON_E5410.freq_levels_ghz,
+                max_servers=REPLAY_SERVERS,
+                default_reference=1.0,
+            )
+            return replay(traces, XEON_E5410, REPLAY_SERVERS, approach, config)
+
+        probes[label] = _run()  # warm + correctness probe
+        ms = _time_ms(_run, 3)
+        results[label] = {
+            "replay_ms": round(ms, 3),
+            "per_period_ms": round(ms / measured_periods, 3),
+        }
+
+    # Correctness before timing gates: a masked run that changes the
+    # numbers would make its overhead ratio meaningless.
+    assert probes["masked"].energy_j == probes["plain"].energy_j
+    assert probes["masked"].faults.evacuations == 0
+    assert probes["faulty"].faults.evacuations > 0
+
+    masked_ratio = results["masked"]["replay_ms"] / results["plain"]["replay_ms"]
+    faulty_ratio = results["faulty"]["replay_ms"] / results["plain"]["replay_ms"]
+    payload = {
+        "vms": REPLAY_VMS,
+        "servers": REPLAY_SERVERS,
+        "crash_rate": FAULTY_REPLAY_CRASH_RATE,
+        "measured_periods": measured_periods,
+        "evacuations": probes["faulty"].faults.evacuations,
+        "masked_vs_plain": round(masked_ratio, 3),
+        "faulty_vs_plain": round(faulty_ratio, 3),
+        "variants": results,
+    }
+    path = bench_json_merge("scaling", "replay_faulty", payload)
+    lines = [f"{'variant':>8} {'replay ms':>10} {'per-period ms':>14}"]
+    for label in variants:
+        row = results[label]
+        lines.append(
+            f"{label:>8} {row['replay_ms']:>10.3f} {row['per_period_ms']:>14.3f}"
+        )
+    lines.append(
+        f"masked/plain {masked_ratio:.3f}  faulty/plain {faulty_ratio:.3f}"
+    )
+    lines.append(f"persisted to {path}")
+    report("\n".join(lines))
+
+    assert masked_ratio < FAULTY_REPLAY_MASKED_MAX_RATIO, (
+        f"zero-rate fault masking cost {masked_ratio:.3f}x the plain replay, "
+        f"budget is {FAULTY_REPLAY_MASKED_MAX_RATIO}x"
+    )
+    assert faulty_ratio < FAULTY_REPLAY_MAX_RATIO, (
+        f"fault-mode replay cost {faulty_ratio:.3f}x the plain replay, "
+        f"budget is {FAULTY_REPLAY_MAX_RATIO}x"
     )
 
 

@@ -8,7 +8,7 @@ aligned monospace text out.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -92,7 +92,7 @@ def ascii_series(
         raise ValueError("chart must be at least 2x2")
     if data.size > width:
         edges = np.linspace(0, data.size, width + 1).astype(int)
-        data = np.array([data[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+        data = np.array([data[a:b].mean() for a, b in zip(edges[:-1], edges[1:], strict=True)])
     lo, hi = float(data.min()), float(data.max())
     span = hi - lo if hi > lo else 1.0
     levels = np.clip(((data - lo) / span * (height - 1)).round().astype(int), 0, height - 1)

@@ -42,7 +42,7 @@ the approximation behind the incremental percentile-mode horizon cost in
 from __future__ import annotations
 
 import math
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 

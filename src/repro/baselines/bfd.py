@@ -10,7 +10,7 @@ co-locates VMs whose peaks coincide.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 

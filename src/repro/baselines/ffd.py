@@ -9,7 +9,7 @@ candidate selection from the plain packing order.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 

@@ -26,7 +26,7 @@ peaks — best-fit-decreasing on peak references, i.e. BFD.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -133,7 +133,7 @@ def cluster_by_envelope(
     overlap = np.where(smaller > 0, joint / np.maximum(smaller, 1), 0.0)
     adjacent = overlap >= config.overlap_threshold
     uf = _UnionFind(n)
-    for i, j in zip(*np.nonzero(np.triu(adjacent, k=1))):
+    for i, j in zip(*np.nonzero(np.triu(adjacent, k=1)), strict=True):
         uf.union(int(i), int(j))
     groups: dict[int, list[str]] = {}
     for i, name in enumerate(window.names):

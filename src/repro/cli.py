@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.experiments import EXPERIMENTS
 
@@ -103,7 +103,7 @@ def _export_traces(
     try:
         traces_config = DatacenterTraceConfig(**overrides)
     except ValueError as error:
-        raise SystemExit(f"repro-experiments export-traces: {error}")
+        raise SystemExit(f"repro-experiments export-traces: {error}") from error
     if fine:
         traces = build_fine_traces(Setup2Config(traces=traces_config))
     else:

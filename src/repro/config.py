@@ -18,6 +18,7 @@ from repro.core.manager import ManagerConfig
 from repro.experiments.setup1 import Setup1Config
 from repro.experiments.setup2 import Setup2Config
 from repro.sim.engine import ReplayConfig
+from repro.sim.faults import FaultConfig
 from repro.traces.datacenter import DatacenterTraceConfig
 from repro.traces.trace import ReferenceSpec
 from repro.workloads.queueing import QueueingConfig
@@ -25,6 +26,7 @@ from repro.workloads.websearch import WebSearchClusterConfig
 
 __all__ = [
     "AllocationConfig",
+    "FaultConfig",
     "ManagerConfig",
     "PcpConfig",
     "QueueingConfig",

@@ -37,7 +37,7 @@ property tests compare these kernels against.
 from __future__ import annotations
 
 from types import MappingProxyType
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -130,7 +130,7 @@ class CostMatrix:
         self._index = _build_index(self._names)
 
     @classmethod
-    def from_traces(cls, traces: TraceSet, spec: ReferenceSpec | None = None) -> "CostMatrix":
+    def from_traces(cls, traces: TraceSet, spec: ReferenceSpec | None = None) -> CostMatrix:
         """Build the exact cost matrix from a :class:`TraceSet` window.
 
         Joint references are computed with a blocked broadcast over all
@@ -161,10 +161,7 @@ class CostMatrix:
         data = traces.matrix
         n = traces.num_traces
         samples = data.shape[1]
-        if spec.is_peak:
-            refs = data.max(axis=1)
-        else:
-            refs = np.percentile(data, spec.percentile, axis=1)
+        refs = data.max(axis=1) if spec.is_peak else np.percentile(data, spec.percentile, axis=1)
         # Only the upper triangle (plus diagonal) is reduced; the matrix
         # is symmetric, so the lower triangle is mirrored afterwards.
         joint = np.empty((n, n), dtype=float)
@@ -253,7 +250,7 @@ class CostMatrix:
         references: np.ndarray,
         joint: np.ndarray,
         spec: ReferenceSpec | None = None,
-    ) -> "CostMatrix":
+    ) -> CostMatrix:
         """Assemble a matrix from precomputed :meth:`reference_parts`."""
         spec = spec or ReferenceSpec()
         refs = np.asarray(references, dtype=float)
@@ -297,7 +294,7 @@ class CostMatrix:
 
     def references(self) -> dict[str, float]:
         """All reference utilizations keyed by VM name."""
-        return {name: float(ref) for name, ref in zip(self._names, self._references)}
+        return {name: float(ref) for name, ref in zip(self._names, self._references, strict=True)}
 
     def cost(self, a: str | int, b: str | int) -> float:
         """``Cost_vm(a, b)`` — Eqn 1 (1.0 on the diagonal)."""

@@ -20,7 +20,7 @@ monitoring windows, which is the deployment mode the paper describes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.core.allocation import AllocationConfig, CorrelationAwareAllocator
 from repro.core.correlation import CostMatrix, RollingCostHorizon
@@ -180,6 +180,47 @@ class PowerManager:
             frequencies=frequencies,
             predicted_references=predicted,
             estimated_servers=estimated,
+            cost_matrix=matrix,
+        )
+
+    def evacuate(
+        self, decision: PeriodDecision, failed_servers: tuple[int, ...] | list[int]
+    ) -> PeriodDecision:
+        """Amend a decision after server failures (incremental path).
+
+        Re-places exactly the failed servers' VMs through the
+        allocator's incremental
+        :meth:`~repro.core.allocation.CorrelationAwareAllocator.evacuate`
+        (reusing the decision's cost matrix and the reindex cache), then
+        recomputes the Eqn-4 frequency for every active server of the
+        amended placement.  Prediction state is untouched — the decision
+        is amended, not re-made.
+        """
+        matrix = decision.cost_matrix
+        placement = self._allocator.evacuate(
+            decision.placement,
+            failed_servers,
+            decision.predicted_references,
+            self._config.n_cores,
+            self._config.max_servers,
+            cost_array=matrix.as_array(),
+            name_index=matrix.name_index,
+        )
+        frequencies = {
+            server: correlation_aware_frequency(
+                list(members),
+                decision.predicted_references,
+                matrix.cost,
+                self._ladder,
+                self._config.n_cores,
+            )
+            for server, members in placement.by_server().items()
+        }
+        return PeriodDecision(
+            placement=placement,
+            frequencies=frequencies,
+            predicted_references=decision.predicted_references,
+            estimated_servers=decision.estimated_servers,
             cost_matrix=matrix,
         )
 

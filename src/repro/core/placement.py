@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from types import MappingProxyType
-from typing import Mapping
+from collections.abc import Mapping
 
 __all__ = ["Placement"]
 
@@ -110,7 +110,7 @@ class Placement:
                     f"server {server} over-committed: {committed:.4f} > {capacity:.4f}"
                 )
 
-    def migrations_from(self, previous: "Placement | None") -> int:
+    def migrations_from(self, previous: Placement | None) -> int:
         """VMs whose host changed relative to ``previous``.
 
         VMs absent from ``previous`` (newly arrived) do not count as

@@ -22,7 +22,7 @@ multiplexing headroom to exploit).
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 __all__ = ["server_correlation_cost", "prospective_server_cost", "CostFn"]
 

@@ -22,7 +22,7 @@ the ladder, so a computed target never silently loses capacity.
 from __future__ import annotations
 
 import math
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.core.server_cost import CostFn, server_correlation_cost
 from repro.infrastructure.dvfs import FrequencyLadder, StaticVfSetting

@@ -9,6 +9,7 @@ while preserving every qualitative claim.
 from repro.experiments.base import ExperimentResult
 from repro.experiments import (
     ablations,
+    availability,
     fig1,
     fig3,
     fig4,
@@ -31,6 +32,7 @@ EXPERIMENTS = {
     "ablations": ablations.run,
     "qos_sweep": qos_sweep.run,
     "robustness": robustness.run,
+    "availability": availability.run,
 }
 
 __all__ = ["ExperimentResult", "EXPERIMENTS"]

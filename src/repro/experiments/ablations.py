@@ -16,7 +16,7 @@ leaves unspecified and the design decisions our reproduction makes:
 from __future__ import annotations
 
 from functools import partial
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -199,7 +199,11 @@ def run(fast: bool = False, workers: int | None = None) -> ExperimentResult:
         ]
     )
     swept = dict(
-        zip([s.name for s in scenarios], run_scenarios(scenarios, workers=workers))
+        zip(
+            [s.name for s in scenarios],
+            run_scenarios(scenarios, workers=workers),
+            strict=True,
+        )
     )
 
     # --- TH_cost sweep --------------------------------------------------

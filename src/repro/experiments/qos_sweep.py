@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from functools import partial
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.analysis.reporting import ascii_table
 from repro.experiments.base import ExperimentResult
@@ -100,7 +100,7 @@ def run(
 
     rows = []
     results = {}
-    for percentile, result in zip(PERCENTILES, swept):
+    for percentile, result in zip(PERCENTILES, swept, strict=True):
         results[percentile] = result
         rows.append(
             (

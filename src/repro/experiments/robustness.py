@@ -76,7 +76,11 @@ def run(fast: bool = False, workers: int | None = None) -> ExperimentResult:
     ]
     scenarios += oracle_scenarios
 
-    swept = dict(zip([s.name for s in scenarios], run_scenarios(scenarios, workers=workers)))
+    swept = dict(zip(
+        [s.name for s in scenarios],
+        run_scenarios(scenarios, workers=workers),
+        strict=True,
+    ))
 
     rows = []
     power_ratios = []

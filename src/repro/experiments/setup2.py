@@ -20,6 +20,7 @@ from repro.core.allocation import AllocationConfig
 from repro.infrastructure.server import XEON_E5410, ServerSpec
 from repro.sim.approaches import BfdApproach, PcpApproach, ProposedApproach
 from repro.sim.engine import ReplayConfig
+from repro.sim.faults import FaultConfig
 from repro.sim.results import ReplayResult
 from repro.sim.runner import Scenario, run_scenarios
 from repro.traces.datacenter import DatacenterTraceConfig, generate_datacenter_traces
@@ -61,6 +62,11 @@ class Setup2Config:
     peak-reference runs are unaffected — peaks fold bit-exactly in
     either mode.  Pass ``"exact"`` to force the full percentile horizon
     rebuild.
+
+    ``faults`` optionally injects a seeded failure schedule (see
+    :mod:`repro.sim.faults`) into every replay built from this config;
+    ``None`` (the default) keeps the replays on the byte-identical
+    fault-free path.
     """
 
     traces: DatacenterTraceConfig = field(default_factory=DatacenterTraceConfig)
@@ -74,8 +80,9 @@ class Setup2Config:
     allocation: AllocationConfig = field(default_factory=AllocationConfig)
     pcp: PcpConfig = field(default_factory=PcpConfig)
     horizon_mode: str = "p2"
+    faults: FaultConfig | None = None
 
-    def fast_variant(self) -> "Setup2Config":
+    def fast_variant(self) -> Setup2Config:
         """A shrunk configuration for smoke tests (6 hours, 16 VMs).
 
         Every trace-generator knob other than the population size and
@@ -100,6 +107,7 @@ class Setup2Config:
             allocation=self.allocation,
             pcp=self.pcp,
             horizon_mode=self.horizon_mode,
+            faults=self.faults,
         )
 
 
@@ -153,6 +161,7 @@ def setup2_scenarios(
         dvfs_mode=dvfs_mode,
         dvfs_interval_samples=config.dvfs_interval_samples,
         oracle=oracle,
+        faults=config.faults,
     )
     n_cores = config.spec.n_cores
     levels = config.spec.freq_levels_ghz

@@ -8,7 +8,7 @@ server count, aggregate power at a snapshot).
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 
 from repro.infrastructure.server import Server, ServerSpec
 
@@ -103,6 +103,6 @@ class Datacenter:
                 f"expected {len(self._servers)} demands, got {len(demand_by_server)}"
             )
         total = 0.0
-        for server, demand in zip(self._servers, demand_by_server):
+        for server, demand in zip(self._servers, demand_by_server, strict=True):
             total += self._spec.power_w(demand, server.freq_ghz, active=server.is_active)
         return total

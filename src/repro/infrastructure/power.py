@@ -28,7 +28,7 @@ plausible (a dual-socket Harpertown server idling near 200 W, an R815 near
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -74,7 +74,7 @@ class DvfsPowerModel:
         if any(self.voltage_by_freq_ghz[f] <= 0 for f in freqs):
             raise ValueError("voltages must be positive")
         volts = [self.voltage_by_freq_ghz[f] for f in freqs]
-        if any(v2 < v1 for v1, v2 in zip(volts, volts[1:])):
+        if any(v2 < v1 for v1, v2 in zip(volts, volts[1:], strict=False)):
             raise ValueError("voltage must be non-decreasing in frequency")
         object.__setattr__(self, "_freqs", freqs)
 

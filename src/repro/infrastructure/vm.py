@@ -58,6 +58,6 @@ class VirtualMachine:
         """Demand at one sample index (cores-at-fmax)."""
         return float(self.trace.samples[sample_index])
 
-    def with_trace(self, trace: UtilizationTrace) -> "VirtualMachine":
+    def with_trace(self, trace: UtilizationTrace) -> VirtualMachine:
         """Copy of this VM bound to a different trace (e.g. a sub-window)."""
         return VirtualMachine(self.vm_id, trace, self.cluster_id, self.core_cap)

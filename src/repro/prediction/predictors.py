@@ -15,7 +15,8 @@ testable and swappable.
 from __future__ import annotations
 
 import math
-from typing import Protocol, Sequence
+from collections.abc import Sequence
+from typing import Protocol
 
 import numpy as np
 

@@ -22,7 +22,8 @@ to placement and v/f policy alone.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Protocol
+from collections.abc import Mapping
+from typing import Protocol
 
 from repro.baselines.bfd import best_fit_decreasing
 from repro.baselines.ffd import first_fit_decreasing
@@ -171,6 +172,9 @@ class ProposedApproach:
         # names drops the allocator's cross-period reindex cache, whose
         # O(N²) snapshot would otherwise pin a dead population in memory.
         self._population: tuple[str, ...] | None = None
+        # Latest cost matrix, kept for the evacuation hook (the fault
+        # layer re-places VMs against the same period's correlations).
+        self._last_matrix = None
 
     def prime_oracle(self, true_references: dict[str, float]) -> None:
         """Inject the true upcoming references (oracle ablation mode)."""
@@ -183,6 +187,7 @@ class ProposedApproach:
                 self._allocator.reset_cache()
             self._population = window.names
         matrix = self._horizon.push(window)
+        self._last_matrix = matrix
         placement = self._allocator.allocate(
             list(window.names),
             predicted,
@@ -201,11 +206,40 @@ class ProposedApproach:
         mean_cost = matrix.mean_offdiagonal()
         return ApproachDecision(placement, frequencies, predicted, {"mean_cost": mean_cost})
 
+    def evacuate(
+        self,
+        placement: Placement,
+        failed_servers: tuple[int, ...],
+        references: Mapping[str, float],
+        num_servers: int,
+    ) -> Placement:
+        """Incrementally re-place the failed servers' VMs.
+
+        The fault layer's hook (see :func:`repro.sim.faults.evacuate_fleet`):
+        delegates to the allocator's incremental
+        :meth:`~repro.core.allocation.CorrelationAwareAllocator.evacuate`
+        against the cost matrix of the latest :meth:`decide`, whose
+        reindex cache it reuses.
+        """
+        matrix = self._last_matrix
+        if matrix is None:
+            raise RuntimeError("evacuate() requires a prior decide()")
+        return self._allocator.evacuate(
+            placement,
+            failed_servers,
+            references,
+            self._n_cores,
+            num_servers,
+            cost_array=matrix.as_array(),
+            name_index=matrix.name_index,
+        )
+
     def reset(self) -> None:
         self._refs.reset()
         self._allocator.reset_cache()
         self._horizon.reset()
         self._population = None
+        self._last_matrix = None
 
 
 class _PackingApproach:

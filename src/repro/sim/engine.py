@@ -36,8 +36,9 @@ import numpy as np
 from repro.infrastructure.dvfs import UtilizationTrackingPolicy
 from repro.infrastructure.server import ServerSpec
 from repro.sim.approaches import ConsolidationApproach
+from repro.sim.faults import FaultConfig, FaultSchedule, evacuate_fleet
 from repro.sim.metrics import FrequencyResidency, violating_samples
-from repro.sim.results import ReplayResult
+from repro.sim.results import FaultStats, ReplayResult
 from repro.traces.trace import TraceSet
 
 __all__ = ["ReplayConfig", "replay"]
@@ -52,6 +53,12 @@ class ReplayConfig:
     upcoming per-VM reference utilizations.  No real system has this; it
     exists to separate placement quality from predictor error in the
     ablation experiments.
+
+    ``faults`` enables fault injection (see :mod:`repro.sim.faults`):
+    failed servers are masked out of the fleet, their VMs evacuated (one
+    charged migration each), and stragglers run at degraded capacity.
+    ``None`` (the default) disables the layer entirely — the replay is
+    then bit-identical to an engine without it (a tested contract).
     """
 
     tperiod_s: float = 3600.0
@@ -59,6 +66,7 @@ class ReplayConfig:
     dvfs_interval_samples: int = 12
     dvfs_headroom: float = 1.0
     oracle: bool = False
+    faults: FaultConfig | None = None
 
     def __post_init__(self) -> None:
         if self.tperiod_s <= 0:
@@ -106,6 +114,15 @@ def replay(
         )
 
     approach.reset()
+    schedule = (
+        FaultSchedule.build(config.faults, num_servers, total_periods)
+        if config.faults is not None
+        else None
+    )
+    evacuations = 0
+    evacuation_energy_j = 0.0
+    unserved_core_s = 0.0
+    unplaced_vm_periods = 0
     policy = UtilizationTrackingPolicy(config.dvfs_interval_samples, config.dvfs_headroom)
     ladder = spec.ladder
     num_levels = ladder.num_levels
@@ -140,14 +157,38 @@ def replay(
             raise ValueError(
                 f"{approach.name} used {placement.num_servers} servers, fleet has {num_servers}"
             )
+        start = period * samples_per_period
+        stop = start + samples_per_period
+        frequencies = decision.frequencies
+        if schedule is not None:
+            # Fault mode: the approach stays fault-oblivious; the engine
+            # re-places the failed servers' VMs after the decision (see
+            # repro.sim.faults for the evacuation contract) and charges
+            # one migration per evacuee.  VMs with no surviving host are
+            # dropped for the period; their demand is accounted unserved.
+            placement, frequencies, moved, unplaced = evacuate_fleet(
+                placement,
+                frequencies,
+                schedule.failed_at(period),
+                decision.predicted_references,
+                spec.n_cores,
+                num_servers,
+                ladder,
+                approach,
+            )
+            evacuations += len(moved)
+            evacuation_energy_j += (
+                config.faults.migration.energy_per_migration_j * len(moved)
+            )
+            if unplaced:
+                rows = [name_to_row[vm] for vm in unplaced]
+                unserved_core_s += float(matrix[rows, start:stop].sum()) * fine_traces.period_s
+                unplaced_vm_periods += len(unplaced)
         placements.append(placement)
         infos.append(dict(decision.info))
         migrations += placement.migrations_from(previous_placement)
         previous_placement = placement
         active_counts.append(placement.num_active_servers)
-
-        start = period * samples_per_period
-        stop = start + samples_per_period
         # Per-server demand in one pass: gather every VM's samples once,
         # grouped by server, and reduce each group with np.add.reduceat —
         # a single buffered reduction for the whole fleet.  The reduceat
@@ -188,7 +229,7 @@ def replay(
         # per-sample frequency matrix at all (one level per server).
         static_freqs = np.full(num_active, ladder.fmax_ghz, dtype=float)
         for row, server_index in enumerate(active):
-            setting = decision.frequencies.get(int(server_index))
+            setting = frequencies.get(int(server_index))
             if setting is not None:
                 static_freqs[row] = setting.freq_ghz
         static_idx = ladder.index_array(static_freqs)
@@ -211,6 +252,14 @@ def replay(
             idle = idle_w[level_idx]
             delta = delta_w[level_idx]
 
+        if schedule is not None:
+            # Stragglers: a degraded server delivers only a fraction of
+            # the capacity its chosen frequency implies for this period.
+            # Accounting-level only — the v/f plan itself is unaware.
+            scale = schedule.scale_at(period)[active]
+            if scale.min() < 1.0:
+                capacity = capacity * scale[:, None]
+
         # Violation accounting: one boolean reduction for the fleet.
         violation[period - 1, active] = violating_samples(demand, capacity).mean(axis=1)
         residency.record_matrix(counts, server_indices=active)
@@ -232,13 +281,26 @@ def replay(
                 count = counts[row, level]
                 if count == 0:
                     continue
-                if count == samples_per_period:
-                    subtotal = row_sums[row]
-                else:
-                    subtotal = power[row, level_idx[row] == level].sum()
+                subtotal = (
+                    row_sums[row]
+                    if count == samples_per_period
+                    else power[row, level_idx[row] == level].sum()
+                )
                 energy_j += float(subtotal) * fine_traces.period_s
 
     duration_s = measured_periods * samples_per_period * fine_traces.period_s
+    fault_stats = None
+    if schedule is not None:
+        # Evacuation energy joins the fleet total only in fault mode, so
+        # the fault-free accumulation stays bit-identical.
+        energy_j += evacuation_energy_j
+        fault_stats = FaultStats(
+            evacuations=evacuations,
+            migration_energy_j=evacuation_energy_j,
+            unserved_demand_core_s=unserved_core_s,
+            unplaced_vm_periods=unplaced_vm_periods,
+            failed_server_periods=schedule.failed_server_periods(first_period=1),
+        )
     return ReplayResult(
         approach_name=approach.name,
         period_s=config.tperiod_s,
@@ -251,4 +313,5 @@ def replay(
         migrations=migrations,
         mean_active_servers=float(np.mean(active_counts)),
         info_per_period=tuple(infos),
+        faults=fault_stats,
     )

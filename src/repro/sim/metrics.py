@@ -14,7 +14,7 @@ The Table-II metrics, as the paper defines them:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

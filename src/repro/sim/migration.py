@@ -21,6 +21,7 @@ makes that argument checkable, and the consolidation example reports it.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 __all__ = ["MigrationCostModel"]
@@ -78,6 +79,11 @@ class MigrationCostModel:
 
     def overhead_fraction(self, migrations: int, base_energy_j: float) -> float:
         """Migration energy as a fraction of the fleet's base energy."""
-        if base_energy_j <= 0:
-            raise ValueError("base energy must be positive")
+        if migrations < 0:
+            raise ValueError("migration count must be non-negative")
+        # NaN passes a plain ``<= 0`` comparison (all NaN comparisons are
+        # false) and would silently propagate; reject every non-finite or
+        # non-positive base instead of returning inf/NaN.
+        if not math.isfinite(base_energy_j) or base_energy_j <= 0:
+            raise ValueError("base energy must be positive and finite")
         return self.total_energy_j(migrations) / base_energy_j

@@ -3,14 +3,40 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.placement import Placement
 from repro.sim.metrics import FrequencyResidency, max_violation_pct, mean_violation_pct
 
-__all__ = ["ReplayResult", "normalized_power", "comparison_rows"]
+__all__ = ["FaultStats", "ReplayResult", "normalized_power", "comparison_rows"]
+
+
+@dataclass(frozen=True)
+class FaultStats:
+    """Fault-mode accounting of one replay (``None`` when faults are off).
+
+    Attributes
+    ----------
+    evacuations:
+        VMs moved off failed servers (each charged one migration).
+    migration_energy_j:
+        Evacuation energy included in the result's ``energy_j``.
+    unserved_demand_core_s:
+        Demand (core-seconds) of VMs that had no surviving host.
+    unplaced_vm_periods:
+        (VM, period) cells that went unhosted.
+    failed_server_periods:
+        (server, period) cells the schedule marked down over the
+        measured periods.
+    """
+
+    evacuations: int
+    migration_energy_j: float
+    unserved_demand_core_s: float
+    unplaced_vm_periods: int
+    failed_server_periods: int
 
 
 @dataclass(frozen=True)
@@ -36,6 +62,9 @@ class ReplayResult:
         Average number of powered-on servers over the horizon.
     info_per_period:
         Approach-specific extras (e.g. PCP's cluster count per period).
+    faults:
+        Fault-mode accounting (see :class:`FaultStats`); ``None`` when
+        the replay ran without fault injection.
     """
 
     approach_name: str
@@ -49,6 +78,7 @@ class ReplayResult:
     migrations: int
     mean_active_servers: float
     info_per_period: tuple[Mapping[str, object], ...] = field(default_factory=tuple)
+    faults: FaultStats | None = None
 
     @property
     def num_periods(self) -> int:

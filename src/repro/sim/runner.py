@@ -19,6 +19,29 @@ This module gives that family a first-class shape:
   serial and parallel execution produce identical results; a test
   asserts exactly that.
 
+Hardening (long sweeps on flaky infrastructure):
+
+* **Per-scenario timeout** (``timeout_s``) — enforced *inside* the
+  executing process with ``SIGALRM``, so a timed-out scenario raises a
+  clean :class:`ScenarioTimeout` without breaking the pool (best-effort
+  on platforms without ``SIGALRM``, and inert off the main thread).
+* **Crash isolation + attribution** — scenarios are submitted one future
+  each (the ``chunksize=1`` discipline: no map chunk to convoy), so a
+  worker crash costs only the futures that were in flight; the survivors
+  are then re-run one per fresh single-worker pool, which pins the
+  ``BrokenProcessPool`` on exactly the scenario that dies alone in its
+  pool.  Failures surface with the scenario's *name*: ordinary
+  exceptions are re-raised as themselves (with a note naming the
+  scenario), worker crashes become a :class:`ScenarioError`.
+* **Bounded retries** (``retries``) — each scenario gets up to
+  ``1 + retries`` attempts with exponential backoff
+  (``retry_backoff_s * 2**k``) between rounds.
+* **Results journal** (``journal=``/``resume=``) — every completed
+  result is appended to a JSONL journal as it lands; ``resume=True``
+  loads journaled results (validated against a scenario-identity hash)
+  and re-runs only what is missing.  Journaled results round-trip
+  through pickle, so serial == parallel == resumed, byte for byte.
+
 Determinism and reproducibility notes: scenario trace builders must
 derive all randomness from seeds captured in the builder (e.g. a
 ``functools.partial`` over a frozen config carrying the seed).  The
@@ -29,12 +52,21 @@ randomness.
 
 from __future__ import annotations
 
+import base64
+import contextlib
+import hashlib
+import json
 import os
 import pickle
+import signal
+import threading
+import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Callable, Sequence
+from pathlib import Path
 
 from repro.infrastructure.server import ServerSpec
 from repro.sim.approaches import ConsolidationApproach
@@ -42,11 +74,30 @@ from repro.sim.engine import ReplayConfig, replay
 from repro.sim.results import ReplayResult
 from repro.traces.trace import TraceSet
 
-__all__ = ["Scenario", "run_scenarios", "default_workers"]
+__all__ = [
+    "Scenario",
+    "ScenarioError",
+    "ScenarioTimeout",
+    "run_scenarios",
+    "default_workers",
+]
 
 #: Environment knob: default worker count for sweeps that do not pass
 #: ``workers`` explicitly.  Unset or "1" keeps sweeps in-process.
 _WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+class ScenarioError(RuntimeError):
+    """A scenario failed in a way that has no original exception to
+    re-raise — its worker process died (``BrokenProcessPool``)."""
+
+    def __init__(self, scenario_name: str, message: str) -> None:
+        self.scenario_name = scenario_name
+        super().__init__(message)
+
+
+class ScenarioTimeout(RuntimeError):
+    """A scenario exceeded the sweep's per-scenario timeout."""
 
 
 @dataclass(frozen=True)
@@ -65,7 +116,7 @@ class Scenario:
     spec / num_servers:
         The simulated fleet.
     replay:
-        Engine configuration (v/f mode, period, oracle, ...).
+        Engine configuration (v/f mode, period, oracle, faults, ...).
     traces:
         Concrete trace population, used whenever present.
     trace_builder:
@@ -109,7 +160,7 @@ class Scenario:
         if self.traces is None and self.trace_builder is None:
             raise ValueError("provide traces and/or a trace_builder")
 
-    def with_traces(self, traces: TraceSet) -> "Scenario":
+    def with_traces(self, traces: TraceSet) -> Scenario:
         """A copy of this scenario pinned to a concrete population."""
         return replace(self, traces=traces, trace_builder=None)
 
@@ -164,6 +215,35 @@ def _execute(scenario: Scenario) -> ReplayResult:
     return replay(traces, scenario.spec, scenario.num_servers, approach, scenario.replay)
 
 
+def _execute_guarded(scenario: Scenario, timeout_s: float | None) -> ReplayResult:
+    """:func:`_execute` under an in-process ``SIGALRM`` deadline.
+
+    Enforcing the timeout *inside* the executing process keeps a process
+    pool intact when a scenario overruns: the worker raises a normal
+    :class:`ScenarioTimeout` through the future instead of having to be
+    killed (which would break the pool for every in-flight sibling).
+    Best-effort by design — platforms without ``SIGALRM`` and non-main
+    threads run unguarded.
+    """
+    if timeout_s is None or not hasattr(signal, "SIGALRM"):
+        return _execute(scenario)
+    if threading.current_thread() is not threading.main_thread():
+        return _execute(scenario)
+
+    def _on_alarm(signum, frame):
+        raise ScenarioTimeout(
+            f"scenario {scenario.name!r} exceeded its {timeout_s:g} s timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return _execute(scenario)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def default_workers() -> int:
     """Worker count used when ``run_scenarios`` is called without one.
 
@@ -182,9 +262,103 @@ def default_workers() -> int:
     return max(1, value)
 
 
+def _scenario_key(scenario: Scenario) -> str | None:
+    """Content hash identifying a scenario for journal validation.
+
+    Pinned trace matrices enter through their (cheap) fingerprint rather
+    than their full bytes.  ``None`` (unpicklable scenario) never
+    matches a journal entry, so such scenarios simply re-run on resume.
+    """
+    identity = (
+        scenario.name,
+        scenario.approach_factory,
+        scenario.spec,
+        scenario.num_servers,
+        scenario.replay,
+        scenario.trace_builder,
+        scenario.approach_name,
+        scenario.seed,
+        _fingerprint(scenario.traces) if scenario.traces is not None else None,
+    )
+    try:
+        blob = pickle.dumps(identity)
+    except Exception:
+        return None
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _read_journal(path: Path) -> dict[str, tuple[str | None, ReplayResult]]:
+    """Parse a results journal, skipping corrupt (e.g. torn) lines."""
+    entries: dict[str, tuple[str | None, ReplayResult]] = {}
+    try:
+        text = path.read_text()
+    except OSError:
+        return entries
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            name = record["name"]
+            result = pickle.loads(base64.b64decode(record["result"]))
+        except Exception:
+            continue
+        entries[name] = (record.get("key"), result)
+    return entries
+
+
+def _journal_line(name: str, key: str | None, result: ReplayResult) -> str:
+    payload = base64.b64encode(pickle.dumps(result)).decode("ascii")
+    return json.dumps({"name": name, "key": key, "result": payload}) + "\n"
+
+
+def _shipped(scenario: Scenario) -> Scenario:
+    """Builder-only clone for pool shipping (see ``run_scenarios``)."""
+    if scenario.trace_builder is None:
+        return scenario
+    return replace(
+        scenario,
+        traces=None,
+        traces_fingerprint=(
+            _fingerprint(scenario.traces) if scenario.traces is not None else None
+        ),
+    )
+
+
+def _raise_failures(
+    failures: dict[str, BaseException], ordered_names: Sequence[str]
+) -> None:
+    """Re-raise the first failure, annotated with every failed scenario.
+
+    Ordinary exceptions keep their type (callers matching on e.g.
+    ``ValueError`` still work); only the note naming the scenario is
+    new.  Worker crashes arrive here already wrapped as
+    :class:`ScenarioError` (a ``BrokenProcessPool`` carries no scenario
+    information of its own).
+    """
+    failed = [name for name in ordered_names if name in failures]
+    first = failures[failed[0]]
+    notes = [f"scenario {failed[0]!r} failed permanently"]
+    if len(failed) > 1:
+        notes.append(f"also failed: {', '.join(repr(name) for name in failed[1:])}")
+    for note in notes:
+        try:
+            first.add_note(note)
+        except AttributeError:
+            break
+    raise first
+
+
 def run_scenarios(
     scenarios: Sequence[Scenario],
     workers: int | None = None,
+    *,
+    timeout_s: float | None = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.5,
+    journal: str | Path | None = None,
+    resume: bool = False,
 ) -> list[ReplayResult]:
     """Replay every scenario, returning results in scenario order.
 
@@ -194,6 +368,27 @@ def run_scenarios(
     one worker per CPU.  Each scenario is independent and deterministic,
     so the strategy never changes the results — only the wall clock.
 
+    Keyword knobs (all off by default — the default call is exactly the
+    pre-hardening behaviour):
+
+    ``timeout_s``
+        Per-scenario wall-clock budget; an overrun raises
+        :class:`ScenarioTimeout` (counted as an ordinary failure, so it
+        is retried like one).
+    ``retries`` / ``retry_backoff_s``
+        Extra attempts per scenario after a failure, with exponential
+        backoff between attempt rounds.
+    ``journal`` / ``resume``
+        JSONL results journal.  Completed results are appended as they
+        land (even when a later scenario fails permanently); with
+        ``resume=True`` journaled results whose scenario-identity hash
+        still matches are returned without re-execution.
+
+    When scenarios fail beyond their retry budget, every completed
+    result has already been journaled, then the first failure is
+    re-raised with the scenario's name attached (worker crashes as
+    :class:`ScenarioError`).
+
     Scenario names must be unique within one sweep so downstream lookups
     (and progress reporting) are unambiguous.
     """
@@ -202,6 +397,14 @@ def run_scenarios(
     if len(set(names)) != len(names):
         duplicates = sorted({name for name in names if names.count(name) > 1})
         raise ValueError(f"duplicate scenario names: {duplicates}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError("timeout_s must be positive")
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    if retry_backoff_s < 0:
+        raise ValueError("retry_backoff_s must be non-negative")
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal path")
     if not scenarios:
         return []
 
@@ -227,24 +430,148 @@ def run_scenarios(
             )
             workers = 1
 
+    journal_path = Path(journal) if journal is not None else None
+    completed: dict[str, ReplayResult] = {}
+    if journal_path is not None and resume and journal_path.exists():
+        cached = _read_journal(journal_path)
+        for scenario in scenarios:
+            entry = cached.get(scenario.name)
+            if entry is None:
+                continue
+            key, result = entry
+            expected = _scenario_key(scenario)
+            if expected is not None and key == expected:
+                completed[scenario.name] = result
+
+    pending = [scenario for scenario in scenarios if scenario.name not in completed]
+    with contextlib.ExitStack() as stack:
+        journal_fh = (
+            stack.enter_context(journal_path.open("a")) if journal_path is not None else None
+        )
+        failures = _run_pending(
+            pending, workers, timeout_s, retries, retry_backoff_s, completed, journal_fh
+        )
+    if failures:
+        _raise_failures(failures, names)
+    return [completed[scenario.name] for scenario in scenarios]
+
+
+def _run_pending(
+    pending: list[Scenario],
+    workers: int,
+    timeout_s: float | None,
+    retries: int,
+    retry_backoff_s: float,
+    completed: dict[str, ReplayResult],
+    journal_fh,
+) -> dict[str, BaseException]:
+    """Execute ``pending``; fill ``completed``; return permanent failures."""
+    failures: dict[str, BaseException] = {}
+    if not pending:
+        return failures
+
+    def record(scenario: Scenario, result: ReplayResult) -> None:
+        completed[scenario.name] = result
+        if journal_fh is not None:
+            journal_fh.write(_journal_line(scenario.name, _scenario_key(scenario), result))
+            journal_fh.flush()
+
+    def backoff(round_index: int) -> None:
+        if round_index and retry_backoff_s:
+            time.sleep(retry_backoff_s * 2 ** (round_index - 1))
+
     if workers <= 1:
-        return [_execute(scenario) for scenario in scenarios]
+        for scenario in pending:
+            last: BaseException | None = None
+            for attempt in range(retries + 1):
+                backoff(attempt)
+                try:
+                    record(scenario, _execute_guarded(scenario, timeout_s))
+                    break
+                except Exception as error:
+                    last = error
+            else:
+                failures[scenario.name] = last
+        return failures
 
     # Workers regenerate any population that has a builder instead of
     # unpickling the full matrix off the pipe; a fingerprint of the
     # pinned traces rides along so a builder that no longer reproduces
     # them fails loudly instead of silently diverging from serial runs.
-    shipped = [
-        replace(
-            scenario,
-            traces=None,
-            traces_fingerprint=(
-                _fingerprint(scenario.traces) if scenario.traces is not None else None
-            ),
-        )
-        if scenario.trace_builder is not None
-        else scenario
-        for scenario in scenarios
-    ]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_execute, shipped))
+    shipped = {scenario.name: _shipped(scenario) for scenario in pending}
+    attempts = dict.fromkeys(shipped, 0)
+    remaining = list(pending)
+    isolate = False
+    round_index = 0
+    while remaining:
+        backoff(round_index)
+        round_index += 1
+        if not isolate:
+            # One future per scenario (the chunksize=1 discipline): a
+            # slow scenario convoys nothing, and a worker crash costs
+            # only the in-flight futures — everything already collected
+            # below is kept (and journaled).
+            pool_broken = False
+            outcomes: dict[str, tuple[str, object]] = {}
+            with ProcessPoolExecutor(max_workers=min(workers, len(remaining))) as pool:
+                futures = {
+                    pool.submit(_execute_guarded, shipped[s.name], timeout_s): s
+                    for s in remaining
+                }
+                for future in as_completed(futures):
+                    scenario = futures[future]
+                    try:
+                        outcomes[scenario.name] = ("ok", future.result())
+                    except BrokenProcessPool as error:
+                        pool_broken = True
+                        outcomes[scenario.name] = ("crash", error)
+                    except Exception as error:
+                        outcomes[scenario.name] = ("error", error)
+            next_remaining = []
+            for scenario in remaining:
+                kind, payload = outcomes[scenario.name]
+                if kind == "ok":
+                    record(scenario, payload)
+                elif kind == "crash":
+                    # A shared-pool crash cannot be attributed: the
+                    # culprit and its innocent in-flight siblings all see
+                    # the same BrokenProcessPool.  Nobody is charged an
+                    # attempt; the isolated rounds below settle blame.
+                    next_remaining.append(scenario)
+                else:
+                    attempts[scenario.name] += 1
+                    if attempts[scenario.name] > retries:
+                        failures[scenario.name] = payload
+                    else:
+                        next_remaining.append(scenario)
+            if pool_broken:
+                isolate = True
+            remaining = next_remaining
+            continue
+        # Isolated rounds after a crash: one fresh single-worker pool
+        # per scenario, so a repeat crash is attributable to exactly the
+        # scenario that was alone in the pool that died.
+        next_remaining = []
+        for scenario in remaining:
+            try:
+                with ProcessPoolExecutor(max_workers=1) as pool:
+                    result = pool.submit(
+                        _execute_guarded, shipped[scenario.name], timeout_s
+                    ).result()
+            except Exception as error:
+                attempts[scenario.name] += 1
+                if attempts[scenario.name] > retries:
+                    if isinstance(error, BrokenProcessPool):
+                        failures[scenario.name] = ScenarioError(
+                            scenario.name,
+                            f"scenario {scenario.name!r} crashed its worker "
+                            f"process ({error or 'BrokenProcessPool'})",
+                        )
+                    else:
+                        failures[scenario.name] = error
+                else:
+                    next_remaining.append(scenario)
+            else:
+                record(scenario, result)
+        remaining = next_remaining
+    return failures

@@ -71,5 +71,5 @@ def load_trace_set_csv(path: str | Path) -> TraceSet:
     if period <= 0 or not np.allclose(deltas, period, rtol=1e-6, atol=1e-9):
         raise ValueError(f"{path} is not uniformly sampled")
     return TraceSet.from_mapping(
-        {name: np.asarray(column) for name, column in zip(names, columns)}, period
+        {name: np.asarray(column) for name, column in zip(names, columns, strict=True)}, period
     )

@@ -45,7 +45,7 @@ of VMs yields different samples than slicing a refined full population.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

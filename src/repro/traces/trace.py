@@ -11,7 +11,7 @@ correlation cost of Eqn 1 a dimensionless ratio.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -183,7 +183,7 @@ class UtilizationTrace:
             return float("inf")
         return self.peak() / mean
 
-    def pearson(self, other: "UtilizationTrace") -> float:
+    def pearson(self, other: UtilizationTrace) -> float:
         """Pearson correlation against another aligned trace."""
         self._require_aligned(other)
         return pearson(self._samples, other._samples)
@@ -201,7 +201,7 @@ class UtilizationTrace:
     # ------------------------------------------------------------------
     # transformations
     # ------------------------------------------------------------------
-    def slice(self, start: int, stop: int) -> "UtilizationTrace":
+    def slice(self, start: int, stop: int) -> UtilizationTrace:
         """Sub-trace covering sample indices ``[start, stop)``."""
         if not 0 <= start < stop <= self.num_samples:
             raise ValueError(
@@ -209,29 +209,29 @@ class UtilizationTrace:
             )
         return UtilizationTrace(self._samples[start:stop].copy(), self._period_s, self._name)
 
-    def window(self, start_s: float, stop_s: float) -> "UtilizationTrace":
+    def window(self, start_s: float, stop_s: float) -> UtilizationTrace:
         """Sub-trace covering wall-clock seconds ``[start_s, stop_s)``."""
         start = int(round(start_s / self._period_s))
         stop = int(round(stop_s / self._period_s))
         return self.slice(start, stop)
 
-    def scaled(self, factor: float) -> "UtilizationTrace":
+    def scaled(self, factor: float) -> UtilizationTrace:
         """Trace with every sample multiplied by ``factor`` (>= 0)."""
         if factor < 0:
             raise ValueError("scale factor must be non-negative")
         return UtilizationTrace(self._samples * factor, self._period_s, self._name)
 
-    def clipped(self, cap: float) -> "UtilizationTrace":
+    def clipped(self, cap: float) -> UtilizationTrace:
         """Trace with samples clipped to ``[0, cap]`` (a VM's core cap)."""
         if cap <= 0:
             raise ValueError("cap must be positive")
         return UtilizationTrace(np.minimum(self._samples, cap), self._period_s, self._name)
 
-    def renamed(self, name: str) -> "UtilizationTrace":
+    def renamed(self, name: str) -> UtilizationTrace:
         """Identical trace with a different name."""
         return UtilizationTrace(self._samples.copy(), self._period_s, name)
 
-    def resampled(self, new_period_s: float) -> "UtilizationTrace":
+    def resampled(self, new_period_s: float) -> UtilizationTrace:
         """Average-preserving resample to a coarser period.
 
         ``new_period_s`` must be an integer multiple of the current period;
@@ -253,13 +253,13 @@ class UtilizationTrace:
         coarse = self._samples[:usable].reshape(-1, factor).mean(axis=1)
         return UtilizationTrace(coarse, new_period_s, self._name)
 
-    def __add__(self, other: "UtilizationTrace") -> "UtilizationTrace":
+    def __add__(self, other: UtilizationTrace) -> UtilizationTrace:
         """Sample-wise aggregate demand of two co-located VMs."""
         self._require_aligned(other)
         name = f"{self._name}+{other._name}" if self._name and other._name else ""
         return UtilizationTrace(self._samples + other._samples, self._period_s, name)
 
-    def _require_aligned(self, other: "UtilizationTrace") -> None:
+    def _require_aligned(self, other: UtilizationTrace) -> None:
         if not isinstance(other, UtilizationTrace):
             raise TypeError(f"expected UtilizationTrace, got {type(other).__name__}")
         if other._period_s != self._period_s:
@@ -281,7 +281,7 @@ class UtilizationTrace:
         duration_s: float,
         period_s: float,
         name: str = "",
-    ) -> "UtilizationTrace":
+    ) -> UtilizationTrace:
         """Sample ``fn(times) -> demand`` on a uniform grid.
 
         Negative function values are clipped to zero, since a demand signal
@@ -296,7 +296,7 @@ class UtilizationTrace:
         return cls(values, period_s, name)
 
     @classmethod
-    def constant(cls, value: float, num_samples: int, period_s: float, name: str = "") -> "UtilizationTrace":
+    def constant(cls, value: float, num_samples: int, period_s: float, name: str = "") -> UtilizationTrace:
         """A flat trace — useful for tests and idle front-end VMs."""
         return cls(np.full(num_samples, float(value)), period_s, name)
 
@@ -398,11 +398,12 @@ class TraceSet:
     # ------------------------------------------------------------------
     def references(self, spec: ReferenceSpec = PEAK) -> dict[str, float]:
         """Reference utilization of every member under ``spec``."""
-        if spec.is_peak:
-            values = self._matrix.max(axis=1)
-        else:
-            values = np.percentile(self._matrix, spec.percentile, axis=1)
-        return dict(zip(self._names, (float(v) for v in values)))
+        values = (
+            self._matrix.max(axis=1)
+            if spec.is_peak
+            else np.percentile(self._matrix, spec.percentile, axis=1)
+        )
+        return dict(zip(self._names, (float(v) for v in values), strict=True))
 
     def aggregate(self, names: Sequence[str] | None = None) -> UtilizationTrace:
         """Sample-wise total demand of a subset (default: all members)."""
@@ -416,11 +417,11 @@ class TraceSet:
             label = "+".join(names)
         return UtilizationTrace(rows.sum(axis=0), self._period_s, label)
 
-    def subset(self, names: Sequence[str]) -> "TraceSet":
+    def subset(self, names: Sequence[str]) -> TraceSet:
         """New TraceSet restricted to ``names`` (in the given order)."""
         return TraceSet([self[n] for n in names])
 
-    def slice(self, start: int, stop: int) -> "TraceSet":
+    def slice(self, start: int, stop: int) -> TraceSet:
         """New TraceSet covering sample indices ``[start, stop)``."""
         if not 0 <= start < stop <= self.num_samples:
             raise ValueError(
@@ -433,7 +434,7 @@ class TraceSet:
         data.flags.writeable = False
         return TraceSet.from_matrix(data, self._names, self._period_s)
 
-    def resampled(self, new_period_s: float) -> "TraceSet":
+    def resampled(self, new_period_s: float) -> TraceSet:
         """Average-preserving resample of every member."""
         return TraceSet([trace.resampled(new_period_s) for trace in self])
 
@@ -444,7 +445,7 @@ class TraceSet:
     @classmethod
     def from_mapping(
         cls, samples_by_name: Mapping[str, Sequence[float] | np.ndarray], period_s: float
-    ) -> "TraceSet":
+    ) -> TraceSet:
         """Build a TraceSet from a ``{name: samples}`` mapping."""
         return cls(
             UtilizationTrace(samples, period_s, name)
@@ -454,7 +455,7 @@ class TraceSet:
     @classmethod
     def from_matrix(
         cls, matrix: np.ndarray, names: Sequence[str], period_s: float
-    ) -> "TraceSet":
+    ) -> TraceSet:
         """Build a TraceSet directly from a ``(num_traces, samples)`` matrix.
 
         The fast internal constructor: skips the per-trace object round

@@ -38,7 +38,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -288,7 +288,7 @@ class ForkJoinQueueingSimulator:
         self._regions = {r.region_id: r for r in regions}
         vm_names: list[str] = []
         for cluster in self._clusters:
-            for name, region_id in zip(cluster.isn_names, cluster.isn_regions):
+            for name, region_id in zip(cluster.isn_names, cluster.isn_regions, strict=True):
                 if region_id not in self._regions:
                     raise ValueError(f"unknown region {region_id!r} for ISN {name!r}")
                 if name in vm_names:
@@ -308,7 +308,7 @@ class ForkJoinQueueingSimulator:
         vm_cluster: list[int] = [0] * len(self._vm_names)
         for c_index, cluster in enumerate(self._clusters):
             for name, region_id, share in zip(
-                cluster.isn_names, cluster.isn_regions, cluster.shares()
+                cluster.isn_names, cluster.isn_regions, cluster.shares(), strict=True
             ):
                 i = vm_index[name]
                 vm_region[i] = region_id

@@ -138,10 +138,11 @@ class WebSearchCluster:
         """
         config = self._config
         times = np.asarray(times_s, dtype=float)
-        if config.share_skew is not None:
-            base = np.asarray(config.share_skew, dtype=float)
-        else:
-            base = np.full(config.n_isns, 1.0 / config.n_isns)
+        base = (
+            np.asarray(config.share_skew, dtype=float)
+            if config.share_skew is not None
+            else np.full(config.n_isns, 1.0 / config.n_isns)
+        )
         shares = np.empty((config.n_isns, times.size))
         for k in range(config.n_isns):
             phase = 2.0 * np.pi * k / max(config.n_isns, 1)

@@ -29,6 +29,7 @@ class TestRegistry:
             "ablations",
             "qos_sweep",
             "robustness",
+            "availability",
         }
 
     def test_render_contains_sections(self):

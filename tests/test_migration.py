@@ -51,6 +51,18 @@ class TestEnergyAccounting:
         with pytest.raises(ValueError):
             model.overhead_fraction(1, 0.0)
 
+    def test_overhead_fraction_rejects_non_finite_base(self):
+        """NaN passes a plain ``<= 0`` check (NaN comparisons are false)
+        and used to propagate silently; inf used to collapse to 0.0."""
+        model = MigrationCostModel()
+        for bad in (float("nan"), float("inf"), float("-inf"), -1.0):
+            with pytest.raises(ValueError, match="positive and finite"):
+                model.overhead_fraction(1, bad)
+
+    def test_overhead_fraction_rejects_negative_count(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MigrationCostModel().overhead_fraction(-1, 1e6)
+
     def test_dirty_pages_cost_more(self):
         cold = MigrationCostModel(dirty_page_factor=1.0)
         live = MigrationCostModel(dirty_page_factor=1.5)

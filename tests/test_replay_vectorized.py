@@ -230,6 +230,34 @@ def test_vectorized_replay_matches_with_oracle(dvfs_mode, approach_key):
     _assert_bit_identical(new, old, 8)
 
 
+@pytest.mark.parametrize("dvfs_mode", ["static", "dynamic"])
+@pytest.mark.parametrize("approach_key", sorted(APPROACHES))
+def test_fault_disabled_engine_matches_seed_engine(dvfs_mode, approach_key):
+    """The fault-injection invariant: with ``faults=None`` (the default)
+    the fault-capable engine is bit-identical to the pre-fault
+    transcription, and a zero-rate schedule changes nothing but the
+    (all-zero) fault stats."""
+    from dataclasses import replace as dc_replace
+
+    from repro.sim.faults import FaultConfig
+
+    traces = _random_traces(5)
+    cls = APPROACHES[approach_key]
+    config = ReplayConfig(tperiod_s=480.0, dvfs_mode=dvfs_mode, dvfs_interval_samples=12)
+    old = _reference_replay(
+        traces, XEON_E5410, 8, cls(8, (2.0, 2.3), max_servers=8, default_reference=4.0), config
+    )
+    zero_rate = dc_replace(config, faults=FaultConfig(crash_rate=0.0, degraded_rate=0.0))
+    new = replay(
+        traces, XEON_E5410, 8,
+        cls(8, (2.0, 2.3), max_servers=8, default_reference=4.0), zero_rate,
+    )
+    assert new.faults is not None
+    assert new.faults.evacuations == 0
+    assert new.faults.failed_server_periods == 0
+    _assert_bit_identical(new, old, 8)
+
+
 def test_vectorized_replay_matches_with_headroom_and_odd_interval():
     """Partial trailing DVFS interval + headroom > 1 (non-default knobs)."""
     traces = _random_traces(11, num_vms=9, periods=3, spp=100)

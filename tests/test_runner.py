@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import os
 import pickle
+import time
 from functools import partial
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -11,7 +14,14 @@ import pytest
 from repro.infrastructure.server import XEON_E5410
 from repro.sim.approaches import BfdApproach, ProposedApproach
 from repro.sim.engine import ReplayConfig, replay
-from repro.sim.runner import Scenario, default_workers, run_scenarios
+from repro.sim.runner import (
+    Scenario,
+    ScenarioError,
+    ScenarioTimeout,
+    _read_journal,
+    default_workers,
+    run_scenarios,
+)
 from repro.traces.trace import ReferenceSpec, TraceSet, UtilizationTrace
 
 
@@ -136,7 +146,7 @@ class TestRunScenarios:
         ]
         serial = run_scenarios(scenarios, workers=1)
         parallel = run_scenarios(scenarios, workers=2)
-        for left, right in zip(serial, parallel):
+        for left, right in zip(serial, parallel, strict=True):
             assert left.energy_j == right.energy_j
             assert np.array_equal(left.violation_ratio, right.violation_ratio)
 
@@ -172,7 +182,7 @@ class TestRunScenarios:
         serial = run_scenarios(scenarios, workers=1)
         parallel = run_scenarios(scenarios, workers=2)
         assert len(serial) == len(parallel) == 3
-        for left, right in zip(serial, parallel):
+        for left, right in zip(serial, parallel, strict=True):
             assert left.approach_name == right.approach_name
             assert left.energy_j == right.energy_j
             assert np.array_equal(left.violation_ratio, right.violation_ratio)
@@ -208,7 +218,7 @@ class TestRunScenarios:
         serial = run_scenarios(scenarios, workers=1)
         parallel = run_scenarios(scenarios, workers=2)
         assert len(serial) == len(parallel) == 3
-        for left, right in zip(serial, parallel):
+        for left, right in zip(serial, parallel, strict=True):
             assert left.energy_j == right.energy_j
             assert np.array_equal(left.violation_ratio, right.violation_ratio)
             assert [dict(p.assignment) for p in left.placements] == [
@@ -247,7 +257,7 @@ class TestEdgeCases:
         scenarios = [_scenario("one", traces=traces), _scenario("two", traces=traces)]
         explicit = run_scenarios(scenarios, workers=1)
         default = run_scenarios(scenarios)
-        for left, right in zip(explicit, default):
+        for left, right in zip(explicit, default, strict=True):
             assert left.energy_j == right.energy_j
             assert np.array_equal(left.violation_ratio, right.violation_ratio)
 
@@ -308,3 +318,212 @@ class TestDefaultWorkers:
     def test_garbage_is_serial(self, monkeypatch):
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "many")
         assert default_workers() == 1
+
+
+class _CrashingApproach(BfdApproach):
+    """Kills its worker process outright (simulates an OOM kill)."""
+
+    def decide(self, window):
+        os._exit(13)
+
+
+class _SleepyApproach(BfdApproach):
+    """Hangs long enough to trip any sub-second timeout."""
+
+    def decide(self, window):
+        time.sleep(30.0)
+        return super().decide(window)
+
+
+class _FlakyOnceApproach(BfdApproach):
+    """Fails on the first attempt (per sentinel file), then succeeds."""
+
+    def __init__(self, sentinel, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._sentinel = Path(sentinel)
+
+    def decide(self, window):
+        if not self._sentinel.exists():
+            self._sentinel.write_text("tried")
+            raise RuntimeError("transient infrastructure wobble")
+        return super().decide(window)
+
+
+class _CountingApproach(BfdApproach):
+    """Appends one line per construction (= one per execution attempt)."""
+
+    def __init__(self, log_path, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        with open(log_path, "a") as fh:
+            fh.write("run\n")
+
+
+def _bad_builder():
+    raise KeyError("no such population")
+
+
+def _bfd_args():
+    return (8, (2.0, 2.3))
+
+
+def _special_factory(cls, *extra):
+    return partial(cls, *extra, *_bfd_args(), max_servers=6, default_reference=4.0)
+
+
+class TestHardening:
+    """Timeouts, crash isolation, retries, and the results journal."""
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            run_scenarios([_scenario("s")], timeout_s=0.0)
+        with pytest.raises(ValueError, match="retries"):
+            run_scenarios([_scenario("s")], retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            run_scenarios([_scenario("s")], retry_backoff_s=-1.0)
+        with pytest.raises(ValueError, match="journal"):
+            run_scenarios([_scenario("s")], resume=True)
+
+    def test_timeout_raises_named_scenario_serially(self):
+        scenarios = [
+            _scenario("fine"),
+            _scenario("hangs", approach_factory=_special_factory(_SleepyApproach)),
+        ]
+        with pytest.raises(ScenarioTimeout, match="hangs"):
+            run_scenarios(scenarios, timeout_s=0.5)
+
+    def test_timeout_in_pool_keeps_siblings(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        scenarios = [
+            _scenario("fine"),
+            _scenario("hangs", approach_factory=_special_factory(_SleepyApproach)),
+        ]
+        with pytest.raises(ScenarioTimeout, match="hangs"):
+            run_scenarios(scenarios, workers=2, timeout_s=1.0, journal=journal)
+        # The healthy sibling's result landed in the journal before the
+        # failure was raised.
+        assert "fine" in _read_journal(journal)
+        assert "hangs" not in _read_journal(journal)
+
+    def test_worker_crash_is_attributed_and_isolated(self, tmp_path):
+        """One crashing scenario does not lose the finished siblings, and
+        the error names the actual crasher."""
+        journal = tmp_path / "sweep.jsonl"
+        scenarios = [
+            _scenario("ok-one"),
+            _scenario("boom", approach_factory=_special_factory(_CrashingApproach)),
+            _scenario("ok-two"),
+        ]
+        with pytest.raises(ScenarioError, match="boom") as excinfo:
+            run_scenarios(scenarios, workers=2, journal=journal)
+        assert excinfo.value.scenario_name == "boom"
+        survivors = _read_journal(journal)
+        assert sorted(survivors) == ["ok-one", "ok-two"]
+
+    def test_ordinary_failure_keeps_exception_type(self):
+        """Failure reporting must not wrap ordinary exceptions: callers
+        matching on the original type (and tests like the stale-builder
+        one above) keep working, with the scenario name in the notes."""
+        scenarios = [
+            _scenario("works"),
+            _scenario("breaks", traces=None, trace_builder=_bad_builder),
+        ]
+        with pytest.raises(KeyError) as excinfo:
+            run_scenarios(scenarios)
+        assert any("breaks" in note for note in excinfo.value.__notes__)
+
+    def test_retry_recovers_flaky_scenario(self, tmp_path):
+        sentinel = tmp_path / "flaky"
+        scenario = _scenario(
+            "flaky",
+            approach_factory=_special_factory(_FlakyOnceApproach, str(sentinel)),
+        )
+        [result] = run_scenarios([scenario], retries=1, retry_backoff_s=0.0)
+        assert result.approach_name == "BFD"
+        assert sentinel.exists()
+
+    def test_no_retries_surfaces_flaky_failure(self, tmp_path):
+        sentinel = tmp_path / "flaky"
+        scenario = _scenario(
+            "flaky",
+            approach_factory=_special_factory(_FlakyOnceApproach, str(sentinel)),
+        )
+        with pytest.raises(RuntimeError, match="wobble"):
+            run_scenarios([scenario])
+
+    def test_retry_recovers_in_pool(self, tmp_path):
+        sentinel = tmp_path / "flaky"
+        scenario = _scenario(
+            "flaky",
+            approach_factory=_special_factory(_FlakyOnceApproach, str(sentinel)),
+        )
+        [result] = run_scenarios(
+            [scenario, _scenario("steady")][:2],
+            workers=2,
+            retries=1,
+            retry_backoff_s=0.0,
+        )[:1]
+        assert result.approach_name == "BFD"
+
+    def test_serial_parallel_resumed_byte_identical(self, tmp_path):
+        """The acceptance invariant: serial == parallel == resumed."""
+        journal = tmp_path / "sweep.jsonl"
+        def batch():
+            return [
+                _scenario("a", traces=_traces(3), trace_builder=partial(build_population, 3)),
+                _scenario("b", traces=_traces(5), trace_builder=partial(build_population, 5)),
+            ]
+
+        serial = run_scenarios(batch(), workers=1)
+        parallel = run_scenarios(batch(), workers=2, journal=journal)
+        resumed = run_scenarios(batch(), journal=journal, resume=True)
+        dumps = [[pickle.dumps(r) for r in results] for results in (serial, parallel, resumed)]
+        assert dumps[0] == dumps[1] == dumps[2]
+
+    def test_resume_skips_completed_scenarios(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        log = tmp_path / "executions.log"
+        def batch():
+            return [
+                _scenario(
+                    "counted",
+                    approach_factory=_special_factory(_CountingApproach, str(log)),
+                )
+            ]
+
+        run_scenarios(batch(), journal=journal)
+        assert log.read_text().count("run") == 1
+        run_scenarios(batch(), journal=journal, resume=True)
+        assert log.read_text().count("run") == 1  # not re-executed
+
+    def test_resume_reruns_on_scenario_change(self, tmp_path):
+        """A journal entry only matches the identical scenario: change
+        the replay config and the scenario re-runs."""
+        journal = tmp_path / "sweep.jsonl"
+        log = tmp_path / "executions.log"
+        def batch(tperiod):
+            return [
+                _scenario(
+                    "counted",
+                    approach_factory=_special_factory(_CountingApproach, str(log)),
+                    replay=ReplayConfig(tperiod_s=tperiod),
+                )
+            ]
+
+        run_scenarios(batch(300.0), journal=journal)
+        run_scenarios(batch(150.0), journal=journal, resume=True)
+        assert log.read_text().count("run") == 2
+
+    def test_corrupt_journal_lines_are_skipped(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        [expected] = run_scenarios([_scenario("solid")], journal=journal)
+        text = journal.read_text()
+        journal.write_text('{"torn": \n' + text + "not json at all\n")
+        [resumed] = run_scenarios([_scenario("solid")], journal=journal, resume=True)
+        assert pickle.dumps(resumed) == pickle.dumps(expected)
+
+    def test_journal_appends_across_runs(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        run_scenarios([_scenario("first")], journal=journal)
+        run_scenarios([_scenario("second")], journal=journal)
+        entries = _read_journal(journal)
+        assert sorted(entries) == ["first", "second"]

@@ -50,7 +50,7 @@ class TestScenarioBuilders:
         clusters, _ = shared_corr_scenario(Setup1Config())
         regions_of = {}
         for cluster in clusters:
-            for name, region in zip(cluster.isn_names, cluster.isn_regions):
+            for name, region in zip(cluster.isn_names, cluster.isn_regions, strict=True):
                 regions_of.setdefault(region, set()).add(name[:3])
         # Each server hosts ISNs from both clusters (names VM1,*/VM2,*).
         for members in regions_of.values():

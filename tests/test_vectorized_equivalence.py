@@ -267,7 +267,7 @@ class TestAllocatorFastPathEquivalence:
         matrix = CostMatrix.from_traces(traces)
         array = matrix.as_array()
         reused = CorrelationAwareAllocator()
-        for period in range(3):
+        for _period in range(3):
             refs = {vm: float(rng.uniform(0.1, 5.0)) for vm in traces.names}
             warm = reused.allocate(
                 list(traces.names), refs, None, 8,

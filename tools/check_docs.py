@@ -122,6 +122,7 @@ def check_bench_table(errors: list[str]) -> None:
     dcgen = bench["datacenter_traces"]
     sweep = bench["allocate_sweep"]
     horizon = bench["horizon_percentile"]
+    faulty = bench["replay_faulty"]
     expected = {
         "cost-matrix build": [kernels["build_ms"]],
         "streaming cost update": [kernels["update_ms"]],
@@ -134,6 +135,7 @@ def check_bench_table(errors: list[str]) -> None:
             replay["dynamic"]["per_period_ms"],
         ],
         "p2 fold vs rebuild": [horizon["p2_fold_ms"], horizon["rebuild_ms"]],
+        "fault-mode replay": [faulty["variants"]["faulty"]["per_period_ms"]],
     }
     for label, values in expected.items():
         quoted = _row_numbers(readme, label)
@@ -146,7 +148,7 @@ def check_bench_table(errors: list[str]) -> None:
                 f"number(s), BENCH_scaling.json has {len(values)}"
             )
             continue
-        for quote, value in zip(quoted, values):
+        for quote, value in zip(quoted, values, strict=True):
             if not value / _BENCH_SLACK <= quote <= value * _BENCH_SLACK:
                 errors.append(
                     f"README.md: stale N=1000 benchmark row for {label!r}: "

@@ -48,6 +48,8 @@ GATED_ENTRIES: tuple[tuple[str, str, str], ...] = (
     ("horizon_percentile", "speedup_vs_rebuild", "higher"),
     ("horizon_percentile", "ratio_vs_peak", "lower"),
     ("horizon_percentile", "max_rel_deviation", "lower"),
+    ("replay_faulty", "masked_vs_plain", "lower"),
+    ("replay_faulty", "faulty_vs_plain", "lower"),
 )
 
 #: Wall-clock entries shown for context (never gated; box-dependent).
@@ -57,6 +59,7 @@ INFORMATIONAL_ENTRIES: tuple[tuple[str, str], ...] = (
     ("kernels", "sizes.1000.allocate_ms"),
     ("replay", "modes.static.per_period_ms"),
     ("replay", "modes.dynamic.per_period_ms"),
+    ("replay_faulty", "variants.faulty.per_period_ms"),
     ("synthesis", "v2_ms"),
     ("datacenter_traces", "v2_ms"),
     ("allocate_sweep", "warm_ms"),
