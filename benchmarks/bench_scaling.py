@@ -63,6 +63,12 @@ FAULTY_REPLAY_CRASH_RATE = 0.01
 FAULTY_REPLAY_MAX_RATIO = 2.0    # faulty replay vs plain replay
 FAULTY_REPLAY_MASKED_MAX_RATIO = 1.05  # zero-rate schedule vs plain
 
+CKPT_PERIODS = 21                # 1 warm-up + 20 measured
+CKPT_SAMPLES_PER_PERIOD = 240    # 20-minute periods of 5 s samples
+CKPT_EVERY = 10                  # checkpoint cadence (periods)
+CKPT_MAX_RATIO = 1.10            # checkpointing-on vs plain replay
+CKPT_DISABLED_MAX_RATIO = 1.02   # policy set but never firing vs plain
+
 SYNTHESIS_VMS = 1000
 SYNTHESIS_WINDOWS = 288          # 24 h of 5-minute monitoring samples
 SYNTHESIS_FINE_PERIOD_S = 5.0
@@ -334,6 +340,143 @@ def test_replay_faulty_gate(report, bench_json_merge):
     assert faulty_ratio < FAULTY_REPLAY_MAX_RATIO, (
         f"fault-mode replay cost {faulty_ratio:.3f}x the plain replay, "
         f"budget is {FAULTY_REPLAY_MAX_RATIO}x"
+    )
+
+
+def test_replay_checkpoint_gate(report, bench_json_merge, tmp_path):
+    """Checkpointing overhead at 1000 VMs / 125 servers.
+
+    Three replays of the same 20-period fleet: the plain engine
+    (``checkpoint=None``), a policy that never fires (cadence beyond the
+    horizon — the cost of the feature merely existing), and the real
+    thing (a full state serialization + fsync'd atomic write every
+    ``CKPT_EVERY`` periods, audit on).  Gates: the never-firing policy
+    stays within 2% of plain, and live checkpointing within 10%.
+    Correctness probes: all three results are byte-identical, and a
+    resume from the last written checkpoint reproduces the plain result
+    byte-identically.
+    """
+    import pickle
+
+    from repro.sim.checkpoint import CheckpointPolicy, list_checkpoints
+
+    rng = np.random.default_rng(REPLAY_VMS + 2)
+    matrix = rng.uniform(
+        0.05, 0.85, size=(REPLAY_VMS, CKPT_PERIODS * CKPT_SAMPLES_PER_PERIOD)
+    )
+    traces = TraceSet.from_matrix(
+        matrix, [f"vm{i:04d}" for i in range(REPLAY_VMS)], 5.0
+    )
+    measured_periods = CKPT_PERIODS - 1
+    ckpt_dir = tmp_path / "ckpts"
+    variants = {
+        "plain": None,
+        "disabled": CheckpointPolicy(path=tmp_path / "never", every_periods=10_000),
+        "checkpointed": CheckpointPolicy(path=ckpt_dir, every_periods=CKPT_EVERY),
+    }
+
+    def _make_run(policy):
+        config = ReplayConfig(
+            tperiod_s=CKPT_SAMPLES_PER_PERIOD * 5.0,
+            dvfs_mode="static",
+            checkpoint=policy,
+        )
+
+        def _run():
+            approach = BfdApproach(
+                XEON_E5410.n_cores,
+                XEON_E5410.freq_levels_ghz,
+                max_servers=REPLAY_SERVERS,
+                default_reference=1.0,
+            )
+            return replay(traces, XEON_E5410, REPLAY_SERVERS, approach, config)
+
+        return _run
+
+    runners = {label: _make_run(policy) for label, policy in variants.items()}
+    probes = {label: run() for label, run in runners.items()}  # warm + probe
+    # The 2% disabled gate measures a near-zero overhead, so the timing
+    # must survive host steal on a shared single-CPU box: run the three
+    # variants back to back within each round (so a slow stretch taxes
+    # the whole round, not one variant) and gate on the *paired* ratios
+    # of the best round — one clean round out of seven is enough, where
+    # ratios of independent per-variant bests need two lucky runs to
+    # line up.
+    best = dict.fromkeys(variants, float("inf"))
+    disabled_ratio = checkpoint_ratio = float("inf")
+    for _ in range(7):
+        round_ms = {}
+        for label, run in runners.items():
+            start = time.perf_counter()
+            run()
+            round_ms[label] = time.perf_counter() - start
+            best[label] = min(best[label], round_ms[label])
+        disabled_ratio = min(disabled_ratio, round_ms["disabled"] / round_ms["plain"])
+        checkpoint_ratio = min(
+            checkpoint_ratio, round_ms["checkpointed"] / round_ms["plain"]
+        )
+    results: dict[str, dict[str, float]] = {
+        label: {
+            "replay_ms": round(ms * 1e3, 3),
+            "per_period_ms": round(ms * 1e3 / measured_periods, 3),
+        }
+        for label, ms in best.items()
+    }
+
+    # Correctness before timing gates: results must be byte-identical
+    # with the policy absent, idle, and firing — and a resume from the
+    # last checkpoint must land on the same bytes.
+    reference = pickle.dumps(probes["plain"])
+    assert pickle.dumps(probes["disabled"]) == reference
+    assert pickle.dumps(probes["checkpointed"]) == reference
+    files = list_checkpoints(ckpt_dir)
+    assert files, "checkpointed replay wrote no files"
+    resumed = replay(
+        traces,
+        XEON_E5410,
+        REPLAY_SERVERS,
+        BfdApproach(
+            XEON_E5410.n_cores,
+            XEON_E5410.freq_levels_ghz,
+            max_servers=REPLAY_SERVERS,
+            default_reference=1.0,
+        ),
+        ReplayConfig(tperiod_s=CKPT_SAMPLES_PER_PERIOD * 5.0, dvfs_mode="static"),
+        resume_from=files[0],
+    )
+    assert pickle.dumps(resumed) == reference, "resume diverged from the plain replay"
+
+    payload = {
+        "vms": REPLAY_VMS,
+        "servers": REPLAY_SERVERS,
+        "samples_per_period": CKPT_SAMPLES_PER_PERIOD,
+        "measured_periods": measured_periods,
+        "checkpoint_every": CKPT_EVERY,
+        "checkpoints_written": len(files),
+        "disabled_vs_plain": round(disabled_ratio, 3),
+        "checkpoint_vs_plain": round(checkpoint_ratio, 3),
+        "variants": results,
+    }
+    path = bench_json_merge("scaling", "replay_checkpoint", payload)
+    lines = [f"{'variant':>13} {'replay ms':>10} {'per-period ms':>14}"]
+    for label in variants:
+        row = results[label]
+        lines.append(
+            f"{label:>13} {row['replay_ms']:>10.3f} {row['per_period_ms']:>14.3f}"
+        )
+    lines.append(
+        f"disabled/plain {disabled_ratio:.3f}  checkpointed/plain {checkpoint_ratio:.3f}"
+    )
+    lines.append(f"persisted to {path}")
+    report("\n".join(lines))
+
+    assert disabled_ratio < CKPT_DISABLED_MAX_RATIO, (
+        f"an idle checkpoint policy cost {disabled_ratio:.3f}x the plain replay, "
+        f"budget is {CKPT_DISABLED_MAX_RATIO}x"
+    )
+    assert checkpoint_ratio < CKPT_MAX_RATIO, (
+        f"checkpointing every {CKPT_EVERY} periods cost {checkpoint_ratio:.3f}x "
+        f"the plain replay, budget is {CKPT_MAX_RATIO}x"
     )
 
 

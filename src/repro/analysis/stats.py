@@ -59,7 +59,26 @@ __all__ = [
     "p2_marker_fractions",
     "quantile_fold_fractions",
     "fold_marker_states",
+    "validate_p2_markers",
 ]
+
+
+def validate_p2_markers(heights, positions, count: int) -> None:
+    """Check the P-square marker invariants on an ``(n, 5)`` state.
+
+    With markers live (``count >= 5``), per-stream positions must be
+    strictly increasing — degenerate (repeated) positions would divide
+    by zero in the parabolic adjustment — and marker heights sorted.
+    Shared by :meth:`BatchPSquare.restore` (snapshots make otherwise
+    unreachable states reachable) and the replay invariant auditor
+    (:mod:`repro.sim.audit`).  Raises :class:`ValueError` on violation.
+    """
+    if count < 5:
+        return
+    if np.any(np.diff(np.asarray(positions, dtype=float), axis=1) <= 0):
+        raise ValueError("snapshot positions must be strictly increasing per stream")
+    if np.any(np.diff(np.asarray(heights, dtype=float), axis=1) < 0):
+        raise ValueError("snapshot heights must be sorted per stream")
 
 
 def p2_marker_fractions(q: float) -> np.ndarray:
@@ -667,13 +686,7 @@ class BatchPSquare:
             if array.shape != shape:
                 raise ValueError(f"snapshot {key!r} must have shape {shape}")
             arrays[key] = array
-        if count >= 5:
-            if np.any(np.diff(arrays["positions"], axis=1) <= 0):
-                raise ValueError(
-                    "snapshot positions must be strictly increasing per stream"
-                )
-            if np.any(np.diff(arrays["heights"], axis=1) < 0):
-                raise ValueError("snapshot heights must be sorted per stream")
+        validate_p2_markers(arrays["heights"], arrays["positions"], count)
         self._count = count
         self._initial = arrays["initial"]
         self._heights = arrays["heights"]

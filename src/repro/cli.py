@@ -17,6 +17,7 @@ replaced with real monitoring data.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from collections.abc import Sequence
 
@@ -45,6 +46,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast",
         action="store_true",
         help="shrink workloads for a quick qualitative run",
+    )
+    run_parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="JSONL scenario journal for resumable sweeps "
+        "(experiments that run through the scenario runner only)",
+    )
+    run_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip scenarios already recorded in --journal (and resume "
+        "partially replayed scenarios from --checkpoint-dir when set)",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="K",
+        default=None,
+        help="write a crash-safe replay checkpoint every K placement "
+        "periods (requires --checkpoint-dir)",
+    )
+    run_parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for per-scenario checkpoint files "
+        "(requires --checkpoint-every)",
     )
 
     export_parser = sub.add_parser(
@@ -134,9 +163,33 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         return 0
 
+    extras = {
+        "journal": args.journal,
+        "resume": args.resume or None,
+        "checkpoint_every": args.checkpoint_every,
+        "checkpoint_dir": args.checkpoint_dir,
+    }
+    requested = {key: value for key, value in extras.items() if value is not None}
+    if "resume" in requested:
+        requested["resume"] = True
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        result = EXPERIMENTS[name](fast=args.fast)
+        accepted = inspect.signature(EXPERIMENTS[name]).parameters
+        unsupported = sorted(set(requested) - set(accepted))
+        if unsupported:
+            if args.experiment == "all":
+                # 'all' mixes runner-backed and plain experiments; only
+                # forward the knobs where they exist.
+                kwargs = {k: v for k, v in requested.items() if k in accepted}
+            else:
+                flags = ", ".join("--" + key.replace("_", "-") for key in unsupported)
+                raise SystemExit(
+                    f"repro-experiments run: experiment {name!r} does not support {flags}"
+                )
+        else:
+            kwargs = dict(requested)
+        result = EXPERIMENTS[name](fast=args.fast, **kwargs)
         print(result.render())
         print()
     return 0

@@ -584,6 +584,48 @@ class StreamingCostMatrix:
         self._single_cache = None
         self._pair_cache = None
 
+    def snapshot(self) -> dict:
+        """Serializable copy of the full streaming state.
+
+        Fresh array copies / estimator snapshots only — the returned
+        dict pickles cleanly and survives mutation of the live matrix.
+        Caches are derived state and deliberately not captured.
+        """
+        return {
+            "names": self._names,
+            "spec": self._spec,
+            "count": self._count,
+            "single_peak": None if self._single_peak is None else self._single_peak.copy(),
+            "pair_peak": None if self._pair_peak is None else self._pair_peak.copy(),
+            "single_est": None if self._single_est is None else self._single_est.snapshot(),
+            "pair_est": None if self._pair_est is None else self._pair_est.snapshot(),
+        }
+
+    def restore(self, state: Mapping) -> None:
+        """Reinstall a :meth:`snapshot` taken from an identical config."""
+        if tuple(state["names"]) != self._names or state["spec"] != self._spec:
+            raise ValueError(
+                "snapshot was taken for a different VM set or reference spec"
+            )
+        count = int(state["count"])
+        if count < 0:
+            raise ValueError("snapshot count must be non-negative")
+        if self._spec.is_peak:
+            for key, target in (("single_peak", self._single_peak),
+                                ("pair_peak", self._pair_peak)):
+                array = np.asarray(state[key], dtype=float)
+                if array.shape != target.shape:
+                    raise ValueError(f"snapshot {key!r} must have shape {target.shape}")
+                target[...] = array
+        else:
+            self._single_est.restore(state["single_est"])
+            if self._pair_est is not None:
+                self._pair_est.restore(state["pair_est"])
+        self._count = count
+        self._cache_count = -1
+        self._single_cache = None
+        self._pair_cache = None
+
 
 class RollingCostHorizon:
     """Per-period Eqn-1 cost matrices over a rolling multi-window horizon.
@@ -777,6 +819,49 @@ class RollingCostHorizon:
         self._marker_parts.clear()
         self._buffer = None
         self._filled = 0
+
+    def snapshot(self) -> dict:
+        """Serializable copy of the horizon ring (all three modes)."""
+        return {
+            "spec": self._spec,
+            "periods": self._periods,
+            "mode": self._mode,
+            "names": self._names,
+            "parts": [(refs.copy(), joint.copy()) for refs, joint in self._parts],
+            "marker_parts": [
+                (single.copy(), pair.copy(), int(count))
+                for single, pair, count in self._marker_parts
+            ],
+            "buffer": None if self._buffer is None else self._buffer.copy(),
+            "filled": self._filled,
+        }
+
+    def restore(self, state: Mapping) -> None:
+        """Reinstall a :meth:`snapshot` taken from an identical config."""
+        if (
+            state["spec"] != self._spec
+            or state["periods"] != self._periods
+            or state["mode"] != self._mode
+        ):
+            raise ValueError(
+                "snapshot was taken under a different horizon configuration"
+            )
+        filled = int(state["filled"])
+        if filled < 0:
+            raise ValueError("snapshot filled count must be non-negative")
+        self._names = None if state["names"] is None else tuple(state["names"])
+        self._parts = [
+            (np.array(refs, dtype=float), np.array(joint))
+            for refs, joint in state["parts"]
+        ]
+        self._marker_parts = [
+            (np.array(single), np.array(pair), int(count))
+            for single, pair, count in state["marker_parts"]
+        ]
+        self._buffer = (
+            None if state["buffer"] is None else np.array(state["buffer"])
+        )
+        self._filled = filled
 
 
 def pearson_cost_matrix(traces: TraceSet) -> np.ndarray:

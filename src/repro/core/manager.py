@@ -19,6 +19,7 @@ monitoring windows, which is the deployment mode the paper describes
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from collections.abc import Mapping
 
@@ -75,11 +76,14 @@ class ManagerConfig:
     horizon_mode: str = "exact"
 
     def __post_init__(self) -> None:
-        if self.n_cores <= 0:
+        # NaN-safe: a bare ``x <= 0`` comparison passes NaN, so every
+        # numeric bound also requires finiteness (mirrors
+        # MigrationCostModel's validation).
+        if not math.isfinite(self.n_cores) or self.n_cores <= 0:
             raise ValueError("n_cores must be positive")
-        if self.default_reference < 0:
+        if not math.isfinite(self.default_reference) or self.default_reference < 0:
             raise ValueError("default_reference must be non-negative")
-        if self.horizon_periods < 1:
+        if not math.isfinite(self.horizon_periods) or self.horizon_periods < 1:
             raise ValueError("horizon_periods must be at least 1")
         if self.horizon_mode not in ("exact", "p2"):
             raise ValueError(
@@ -223,6 +227,26 @@ class PowerManager:
             estimated_servers=decision.estimated_servers,
             cost_matrix=matrix,
         )
+
+    def snapshot(self) -> dict:
+        """Serializable copy of the manager's mutable state.
+
+        Covers the per-VM reference histories, the rolling-horizon ring
+        and the allocator's reindex cache — everything :meth:`decide`
+        reads across periods.  The (stateless) predictor and the frozen
+        config are reconstructed, not serialized.
+        """
+        return {
+            "history": {vm: list(values) for vm, values in self._history.items()},
+            "allocator": self._allocator.snapshot(),
+            "horizon": self._horizon.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstall a :meth:`snapshot` taken from an identical config."""
+        self._history = {vm: list(values) for vm, values in state["history"].items()}
+        self._allocator.restore(state["allocator"])
+        self._horizon.restore(state["horizon"])
 
     def reset(self) -> None:
         """Drop all accumulated history (fresh deployment).

@@ -91,10 +91,13 @@ def run(
     resume: bool = False,
     retries: int = 0,
     timeout_s: float | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_dir: str | Path | None = None,
 ) -> ExperimentResult:
     """Sweep fault rates over the four approaches (one scenario batch).
 
-    ``journal``/``resume``/``retries``/``timeout_s`` pass straight
+    ``journal``/``resume``/``retries``/``timeout_s`` and the checkpoint
+    knobs (``checkpoint_every``/``checkpoint_dir``) pass straight
     through to :func:`repro.sim.runner.run_scenarios`.
     """
     base = Setup2Config()
@@ -123,6 +126,8 @@ def run(
                 resume=resume,
                 retries=retries,
                 timeout_s=timeout_s,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
             ),
             strict=True,
         )

@@ -6,6 +6,7 @@ fleet, accounting power, QoS violations, frequency residency and
 migrations — the quantities behind Table II and Fig 6.
 """
 
+from repro.sim.audit import AuditError, AuditEvent
 from repro.sim.approaches import (
     ApproachDecision,
     BfdApproach,
@@ -15,6 +16,7 @@ from repro.sim.approaches import (
     ProposedApproach,
 )
 from repro.sim.deployment import DeploymentDelta, apply_decision
+from repro.sim.checkpoint import CheckpointError, CheckpointPolicy
 from repro.sim.engine import ReplayConfig, replay
 from repro.sim.migration import MigrationCostModel
 from repro.sim.results import ReplayResult, comparison_rows, normalized_power
@@ -31,6 +33,10 @@ __all__ = [
     "PcpApproach",
     "ReplayConfig",
     "replay",
+    "CheckpointPolicy",
+    "CheckpointError",
+    "AuditEvent",
+    "AuditError",
     "ReplayResult",
     "comparison_rows",
     "normalized_power",

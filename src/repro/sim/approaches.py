@@ -121,6 +121,16 @@ class _ReferenceHistory:
         self._history.clear()
         self._primed = None
 
+    def snapshot(self) -> dict:
+        return {
+            "history": {vm: list(values) for vm, values in self._history.items()},
+            "primed": None if self._primed is None else dict(self._primed),
+        }
+
+    def restore(self, state: dict) -> None:
+        self._history = {vm: list(values) for vm, values in state["history"].items()}
+        self._primed = None if state["primed"] is None else dict(state["primed"])
+
 
 class ProposedApproach:
     """The paper's scheme: Fig-2 allocation + Eqn-4 frequency.
@@ -241,6 +251,29 @@ class ProposedApproach:
         self._population = None
         self._last_matrix = None
 
+    def snapshot(self) -> dict:
+        """Serializable copy of all cross-period state (for checkpoints).
+
+        ``_last_matrix`` is an immutable :class:`CostMatrix` (read-only
+        backing array), so holding a reference rather than a deep copy
+        is safe.
+        """
+        return {
+            "refs": self._refs.snapshot(),
+            "horizon": self._horizon.snapshot(),
+            "allocator": self._allocator.snapshot(),
+            "population": self._population,
+            "last_matrix": self._last_matrix,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstall a :meth:`snapshot` taken from an identical config."""
+        self._refs.restore(state["refs"])
+        self._horizon.restore(state["horizon"])
+        self._allocator.restore(state["allocator"])
+        self._population = state["population"]
+        self._last_matrix = state["last_matrix"]
+
 
 class _PackingApproach:
     """Common body of the correlation-unaware packing baselines."""
@@ -283,6 +316,12 @@ class _PackingApproach:
 
     def reset(self) -> None:
         self._refs.reset()
+
+    def snapshot(self) -> dict:
+        return {"refs": self._refs.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        self._refs.restore(state["refs"])
 
 
 class BfdApproach(_PackingApproach):
@@ -376,3 +415,13 @@ class PcpApproach:
     def reset(self) -> None:
         self._offpeak_refs.reset()
         self._peak_refs.reset()
+
+    def snapshot(self) -> dict:
+        return {
+            "offpeak_refs": self._offpeak_refs.snapshot(),
+            "peak_refs": self._peak_refs.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        self._offpeak_refs.restore(state["offpeak_refs"])
+        self._peak_refs.restore(state["peak_refs"])

@@ -29,13 +29,28 @@ order is part of the contract; see ``tests/test_replay_vectorized.py``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import math
+import pickle
+import sys
+import warnings
+from dataclasses import dataclass, replace
+from pathlib import Path
 
 import numpy as np
 
 from repro.infrastructure.dvfs import UtilizationTrackingPolicy
 from repro.infrastructure.server import ServerSpec
+from repro.sim import audit as _audit
 from repro.sim.approaches import ConsolidationApproach
+from repro.sim.checkpoint import (
+    CHECKPOINT_LAYOUT,
+    CheckpointPolicy,
+    checkpoint_file,
+    load_latest_checkpoint,
+    prune_checkpoints,
+    save_checkpoint,
+)
 from repro.sim.faults import FaultConfig, FaultSchedule, evacuate_fleet
 from repro.sim.metrics import FrequencyResidency, violating_samples
 from repro.sim.results import FaultStats, ReplayResult
@@ -59,6 +74,14 @@ class ReplayConfig:
     charged migration each), and stragglers run at degraded capacity.
     ``None`` (the default) disables the layer entirely — the replay is
     then bit-identical to an engine without it (a tested contract).
+
+    ``checkpoint`` enables crash-safe mid-replay checkpoints (see
+    :mod:`repro.sim.checkpoint`): the complete loop state is atomically
+    persisted every ``checkpoint.every_periods`` completed periods, and
+    ``replay(..., resume_from=...)`` restarts from the newest valid
+    checkpoint byte-identically to an uninterrupted run.  ``None`` (the
+    default) keeps the loop checkpoint-free and bit-identical to an
+    engine without the feature.
     """
 
     tperiod_s: float = 3600.0
@@ -67,16 +90,174 @@ class ReplayConfig:
     dvfs_headroom: float = 1.0
     oracle: bool = False
     faults: FaultConfig | None = None
+    checkpoint: CheckpointPolicy | None = None
 
     def __post_init__(self) -> None:
-        if self.tperiod_s <= 0:
+        # NaN-safe: ``NaN <= 0`` and ``NaN < 1`` are both False, so each
+        # bound also requires finiteness (mirrors MigrationCostModel).
+        if not math.isfinite(self.tperiod_s) or self.tperiod_s <= 0:
             raise ValueError("tperiod_s must be positive")
         if self.dvfs_mode not in ("static", "dynamic"):
             raise ValueError(f"dvfs_mode must be 'static' or 'dynamic', got {self.dvfs_mode!r}")
-        if self.dvfs_interval_samples < 1:
+        if not math.isfinite(self.dvfs_interval_samples) or self.dvfs_interval_samples < 1:
             raise ValueError("dvfs_interval_samples must be positive")
-        if self.dvfs_headroom < 1.0:
+        if not math.isfinite(self.dvfs_headroom) or self.dvfs_headroom < 1.0:
             raise ValueError("dvfs_headroom below 1.0 deliberately under-provisions")
+
+
+def _replay_fingerprint(
+    fine_traces: TraceSet,
+    spec: ServerSpec,
+    num_servers: int,
+    approach: ConsolidationApproach,
+    config: ReplayConfig,
+) -> str:
+    """Identity hash binding a checkpoint to one exact replay call.
+
+    Covers everything the loop's trajectory depends on — config (minus
+    the operational checkpoint policy), server spec, fleet size, trace
+    identity and the approach's type/name — so a checkpoint can never be
+    resumed into a *different* replay and silently diverge.
+    """
+    identity = (
+        CHECKPOINT_LAYOUT,
+        replace(config, checkpoint=None),
+        spec,
+        int(num_servers),
+        fine_traces.names,
+        tuple(fine_traces.matrix.shape),
+        float(fine_traces.period_s),
+        float(fine_traces.matrix.sum()),
+        type(approach).__qualname__,
+        str(getattr(approach, "name", "")),
+    )
+    blob = pickle.dumps(identity, protocol=pickle.HIGHEST_PROTOCOL)
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _approach_payload(approach: ConsolidationApproach) -> dict:
+    """Checkpointable capture of an approach's cross-period state.
+
+    Approaches exposing ``snapshot()/restore()`` (all built-in ones)
+    serialize just their mutable state; anything else is pickled whole —
+    the universal fallback that also captures RNG bit-generator states
+    of custom stochastic approaches.
+    """
+    descriptor = {
+        "class": type(approach).__qualname__,
+        "name": str(getattr(approach, "name", "")),
+    }
+    if hasattr(approach, "snapshot") and hasattr(approach, "restore"):
+        return {**descriptor, "kind": "snapshot", "state": approach.snapshot()}
+    return {**descriptor, "kind": "object", "object": approach}
+
+
+def _restore_approach(
+    approach: ConsolidationApproach, payload: dict
+) -> ConsolidationApproach:
+    if payload["class"] != type(approach).__qualname__ or payload["name"] != str(
+        getattr(approach, "name", "")
+    ):
+        raise ValueError(
+            f"checkpoint holds {payload['class']}/{payload['name']}, "
+            f"resume was asked for {type(approach).__qualname__}"
+        )
+    if payload["kind"] == "snapshot":
+        approach.restore(payload["state"])
+        return approach
+    return payload["object"]
+
+
+def _canonicalize_restored(state: dict, names: tuple[str, ...]) -> dict:
+    """Re-share string objects of an unpickled engine state.
+
+    The repo's byte-identity contract compares results with
+    ``pickle.dumps``, whose output depends on object *identity* sharing
+    (the pickler memoizes repeated objects).  A live run's placements
+    and info dicts all reference the trace set's own name strings and
+    interned literal keys; an unpickled checkpoint carries equal-valued
+    private copies.  Rewriting the restored containers against the
+    canonical name objects (and ``sys.intern`` for literal keys) makes
+    the resumed run's result share strings exactly like an uninterrupted
+    run — a prerequisite for byte-identical resume, not a cosmetic step.
+    """
+    from repro.core.placement import Placement
+
+    table = dict(zip(names, names, strict=True))
+    rebuilt: dict[int, object] = {}
+
+    def canon(obj):
+        if isinstance(obj, str):
+            canonical = table.get(obj)
+            return canonical if canonical is not None else sys.intern(obj)
+        if isinstance(obj, Placement):
+            cached = rebuilt.get(id(obj))
+            if cached is None:
+                cached = Placement(
+                    {canon(vm): server for vm, server in obj.assignment.items()},
+                    obj.num_servers,
+                )
+                rebuilt[id(obj)] = cached
+            return cached
+        if isinstance(obj, dict):
+            return {canon(key): canon(value) for key, value in obj.items()}
+        if isinstance(obj, list):
+            return [canon(item) for item in obj]
+        if isinstance(obj, tuple):
+            return tuple(canon(item) for item in obj)
+        return obj
+
+    out = dict(state)
+    for key in ("placements", "previous_placement", "infos"):
+        out[key] = canon(state[key])
+    return out
+
+
+def _load_resume_state(
+    resume_from: str | Path,
+    fingerprint: str,
+    schedule: FaultSchedule | None,
+) -> tuple[dict, dict, dict] | None:
+    """The newest usable checkpoint state, or ``None`` for a cold start.
+
+    Corruption, a fingerprint mismatch (checkpoint from a different
+    replay) or a fault-schedule content mismatch are all *reported*
+    (``RuntimeWarning``) and degrade to a cold start — a resume is never
+    silently wrong.
+    """
+    found = load_latest_checkpoint(resume_from)
+    if found is None:
+        return None
+    path, ckpt = found
+    meta = ckpt.meta
+    if meta.get("fingerprint") != fingerprint:
+        warnings.warn(
+            f"checkpoint {path} was written by a different replay "
+            "(fingerprint mismatch); cold-starting",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    expected_hash = schedule.content_hash() if schedule is not None else None
+    if meta.get("schedule_sha256") != expected_hash:
+        warnings.warn(
+            f"checkpoint {path} was written under a different fault "
+            "schedule; cold-starting",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    try:
+        engine_state = pickle.loads(ckpt.sections["engine"])
+        approach_payload = pickle.loads(ckpt.sections["approach"])
+    except Exception as error:  # noqa: BLE001 - any unpickling failure
+        warnings.warn(
+            f"checkpoint {path} failed to deserialize ({error}); cold-starting",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    return meta, engine_state, approach_payload
 
 
 def replay(
@@ -85,6 +266,8 @@ def replay(
     num_servers: int,
     approach: ConsolidationApproach,
     config: ReplayConfig | None = None,
+    *,
+    resume_from: str | Path | None = None,
 ) -> ReplayResult:
     """Replay ``fine_traces`` under ``approach`` on a simulated fleet.
 
@@ -101,6 +284,13 @@ def replay(
         A :class:`~repro.sim.approaches.ConsolidationApproach`.
     config:
         Replay parameters; defaults are the paper's.
+    resume_from:
+        A checkpoint directory (or single ``.ckpt`` file) to restart
+        from.  The newest valid checkpoint whose identity fingerprint
+        matches this call is restored and the loop continues mid-stream,
+        byte-identically to an uninterrupted run; anything unusable
+        (corrupt, truncated, version- or identity-mismatched) is
+        reported with a ``RuntimeWarning`` and the replay cold-starts.
     """
     config = config or ReplayConfig()
     samples_per_period = int(round(config.tperiod_s / fine_traces.period_s))
@@ -144,7 +334,51 @@ def replay(
     name_to_row = {name: i for i, name in enumerate(fine_traces.names)}
     matrix = fine_traces.matrix
 
-    for period in range(1, total_periods):
+    checkpoint_policy = config.checkpoint
+    audit_events: list = []
+    last_audit_energy_j = 0.0
+    start_period = 1
+    fingerprint = (
+        _replay_fingerprint(fine_traces, spec, num_servers, approach, config)
+        if checkpoint_policy is not None or resume_from is not None
+        else None
+    )
+    if resume_from is not None:
+        loaded = _load_resume_state(resume_from, fingerprint, schedule)
+        if loaded is not None:
+            meta, state, approach_payload = loaded
+            try:
+                restored_violation = np.array(state["violation"], dtype=float)
+                if restored_violation.shape != violation.shape:
+                    raise ValueError("checkpointed violation matrix shape mismatch")
+                residency.restore(state["residency"])
+                approach = _restore_approach(approach, approach_payload)
+                state = _canonicalize_restored(state, fine_traces.names)
+            except (KeyError, ValueError, TypeError) as error:
+                warnings.warn(
+                    f"checkpoint state rejected ({error}); cold-starting",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                approach.reset()
+                residency = FrequencyResidency(num_servers, ladder.levels_ghz)
+            else:
+                violation = restored_violation
+                start_period = int(meta["next_period"])
+                evacuations = state["evacuations"]
+                evacuation_energy_j = state["evacuation_energy_j"]
+                unserved_core_s = state["unserved_core_s"]
+                unplaced_vm_periods = state["unplaced_vm_periods"]
+                energy_j = state["energy_j"]
+                migrations = state["migrations"]
+                active_counts = list(state["active_counts"])
+                placements = list(state["placements"])
+                infos = list(state["infos"])
+                previous_placement = state["previous_placement"]
+                audit_events = list(state["audit_events"])
+                last_audit_energy_j = state["last_audit_energy_j"]
+
+    for period in range(start_period, total_periods):
         window = fine_traces.slice((period - 1) * samples_per_period, period * samples_per_period)
         if config.oracle and hasattr(approach, "prime_oracle"):
             upcoming = fine_traces.slice(
@@ -219,74 +453,140 @@ def replay(
             inactive_samples=samples_per_period,
             inactive_indices=np.flatnonzero(inactive_mask),
         )
-        if num_active == 0:
-            continue
+        if num_active:
+            # Frequency plan for all active servers at once: placement-time
+            # static levels, then (dynamic mode) interval peaks quantized
+            # against the ladder in one batched reduction.  Everything runs
+            # in ladder-index space; the static mode never materialises a
+            # per-sample frequency matrix at all (one level per server).
+            static_freqs = np.full(num_active, ladder.fmax_ghz, dtype=float)
+            for row, server_index in enumerate(active):
+                setting = frequencies.get(int(server_index))
+                if setting is not None:
+                    static_freqs[row] = setting.freq_ghz
+            static_idx = ladder.index_array(static_freqs)
 
-        # Frequency plan for all active servers at once: placement-time
-        # static levels, then (dynamic mode) interval peaks quantized
-        # against the ladder in one batched reduction.  Everything runs
-        # in ladder-index space; the static mode never materialises a
-        # per-sample frequency matrix at all (one level per server).
-        static_freqs = np.full(num_active, ladder.fmax_ghz, dtype=float)
-        for row, server_index in enumerate(active):
-            setting = frequencies.get(int(server_index))
-            if setting is not None:
-                static_freqs[row] = setting.freq_ghz
-        static_idx = ladder.index_array(static_freqs)
-
-        counts = np.zeros((num_active, num_levels), dtype=np.int64)
-        if config.dvfs_mode == "static":
-            level_idx = None
-            capacity = (spec.n_cores * static_freqs / spec.fmax_ghz)[:, None]
-            counts[np.arange(num_active), static_idx] = samples_per_period
-            idle = idle_w[static_idx][:, None]
-            delta = delta_w[static_idx][:, None]
-        else:
-            level_idx = policy.choose_series_indices(
-                demand, ladder, spec.n_cores, static_idx
-            )
-            freqs = ladder.levels_array[level_idx]
-            capacity = spec.n_cores * freqs / spec.fmax_ghz
-            flat = (np.arange(num_active)[:, None] * num_levels + level_idx).ravel()
-            counts.ravel()[:] = np.bincount(flat, minlength=num_active * num_levels)
-            idle = idle_w[level_idx]
-            delta = delta_w[level_idx]
-
-        if schedule is not None:
-            # Stragglers: a degraded server delivers only a fraction of
-            # the capacity its chosen frequency implies for this period.
-            # Accounting-level only — the v/f plan itself is unaware.
-            scale = schedule.scale_at(period)[active]
-            if scale.min() < 1.0:
-                capacity = capacity * scale[:, None]
-
-        # Violation accounting: one boolean reduction for the fleet.
-        violation[period - 1, active] = violating_samples(demand, capacity).mean(axis=1)
-        residency.record_matrix(counts, server_indices=active)
-
-        # Busy-fraction power for the whole fleet in one batched
-        # evaluation: ``idle_w + (busy_w - idle_w) * busy`` with the
-        # per-level wattages gathered by ladder index.
-        busy = np.minimum(demand / capacity, 1.0)
-        power = idle + delta * busy
-        row_sums = power.sum(axis=1)
-
-        # Energy accumulation, preserving the scalar engine's exact
-        # order: servers ascending, levels ascending, one masked pairwise
-        # sum per (server, level).  A full-period level (always, in
-        # static mode) reuses the precomputed row sum — same pairwise
-        # reduction, no masking pass.
-        for row in range(num_active):
-            for level in range(num_levels):
-                count = counts[row, level]
-                if count == 0:
-                    continue
-                subtotal = (
-                    row_sums[row]
-                    if count == samples_per_period
-                    else power[row, level_idx[row] == level].sum()
+            counts = np.zeros((num_active, num_levels), dtype=np.int64)
+            if config.dvfs_mode == "static":
+                level_idx = None
+                capacity = (spec.n_cores * static_freqs / spec.fmax_ghz)[:, None]
+                counts[np.arange(num_active), static_idx] = samples_per_period
+                idle = idle_w[static_idx][:, None]
+                delta = delta_w[static_idx][:, None]
+            else:
+                level_idx = policy.choose_series_indices(
+                    demand, ladder, spec.n_cores, static_idx
                 )
-                energy_j += float(subtotal) * fine_traces.period_s
+                freqs = ladder.levels_array[level_idx]
+                capacity = spec.n_cores * freqs / spec.fmax_ghz
+                flat = (np.arange(num_active)[:, None] * num_levels + level_idx).ravel()
+                counts.ravel()[:] = np.bincount(flat, minlength=num_active * num_levels)
+                idle = idle_w[level_idx]
+                delta = delta_w[level_idx]
+
+            if schedule is not None:
+                # Stragglers: a degraded server delivers only a fraction of
+                # the capacity its chosen frequency implies for this period.
+                # Accounting-level only — the v/f plan itself is unaware.
+                scale = schedule.scale_at(period)[active]
+                if scale.min() < 1.0:
+                    capacity = capacity * scale[:, None]
+
+            # Violation accounting: one boolean reduction for the fleet.
+            violation[period - 1, active] = violating_samples(demand, capacity).mean(
+                axis=1
+            )
+            residency.record_matrix(counts, server_indices=active)
+
+            # Busy-fraction power for the whole fleet in one batched
+            # evaluation: ``idle_w + (busy_w - idle_w) * busy`` with the
+            # per-level wattages gathered by ladder index.
+            busy = np.minimum(demand / capacity, 1.0)
+            power = idle + delta * busy
+            row_sums = power.sum(axis=1)
+
+            # Energy accumulation, preserving the scalar engine's exact
+            # order: servers ascending, levels ascending, one masked pairwise
+            # sum per (server, level).  A full-period level (always, in
+            # static mode) reuses the precomputed row sum — same pairwise
+            # reduction, no masking pass.
+            for row in range(num_active):
+                for level in range(num_levels):
+                    count = counts[row, level]
+                    if count == 0:
+                        continue
+                    subtotal = (
+                        row_sums[row]
+                        if count == samples_per_period
+                        else power[row, level_idx[row] == level].sum()
+                    )
+                    energy_j += float(subtotal) * fine_traces.period_s
+
+        if checkpoint_policy is not None and period % checkpoint_policy.every_periods == 0:
+            # Audit *before* persisting: a corrupted accumulator must
+            # never be checkpointed as if it were healthy.  Degrade-mode
+            # rebuilds mutate the approach, so the state captured below
+            # is the post-repair state.
+            if checkpoint_policy.audit:
+                findings = _audit.audit_replay_state(
+                    period=period,
+                    samples_per_period=samples_per_period,
+                    violation=violation,
+                    residency=residency,
+                    energy_j=energy_j,
+                    previous_energy_j=last_audit_energy_j,
+                    counters={
+                        "migrations": migrations,
+                        "evacuations": evacuations,
+                        "unserved_core_s": unserved_core_s,
+                        "unplaced_vm_periods": unplaced_vm_periods,
+                    },
+                    approach=approach,
+                )
+                audit_events.extend(
+                    _audit.apply_policy(
+                        findings, checkpoint_policy.on_violation, approach, period
+                    )
+                )
+                last_audit_energy_j = energy_j
+            state = {
+                "evacuations": evacuations,
+                "evacuation_energy_j": evacuation_energy_j,
+                "unserved_core_s": unserved_core_s,
+                "unplaced_vm_periods": unplaced_vm_periods,
+                "violation": violation.copy(),
+                "residency": residency.snapshot(),
+                "energy_j": energy_j,
+                "migrations": migrations,
+                "active_counts": list(active_counts),
+                "placements": list(placements),
+                "infos": [dict(info) for info in infos],
+                "previous_placement": previous_placement,
+                "audit_events": list(audit_events),
+                "last_audit_energy_j": last_audit_energy_j,
+            }
+            meta = {
+                "next_period": period + 1,
+                "total_periods": total_periods,
+                "samples_per_period": samples_per_period,
+                "num_servers": int(num_servers),
+                "fingerprint": fingerprint,
+                "schedule_sha256": (
+                    schedule.content_hash() if schedule is not None else None
+                ),
+                "approach_class": type(approach).__qualname__,
+            }
+            save_checkpoint(
+                checkpoint_file(checkpoint_policy.path, period),
+                meta,
+                {
+                    "engine": pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL),
+                    "approach": pickle.dumps(
+                        _approach_payload(approach), protocol=pickle.HIGHEST_PROTOCOL
+                    ),
+                },
+            )
+            prune_checkpoints(checkpoint_policy.path, checkpoint_policy.keep)
 
     duration_s = measured_periods * samples_per_period * fine_traces.period_s
     fault_stats = None
@@ -314,4 +614,5 @@ def replay(
         mean_active_servers=float(np.mean(active_counts)),
         info_per_period=tuple(infos),
         faults=fault_stats,
+        audit_events=tuple(audit_events),
     )

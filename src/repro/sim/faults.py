@@ -38,6 +38,7 @@ surviving server exists at all.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
@@ -189,6 +190,22 @@ class FaultSchedule:
     def failed_server_periods(self, first_period: int = 0) -> int:
         """Total (server, period) cells down from ``first_period`` on."""
         return int(self.failed[first_period:].sum())
+
+    def content_hash(self) -> str:
+        """SHA-256 over the realized schedule arrays.
+
+        The schedule is a pure function of ``(config, fleet, horizon)``,
+        so a resumed replay rebuilds it from scratch; the hash — stored
+        in each checkpoint's metadata — proves the rebuild drew the
+        *same* schedule the checkpointed run was following (a changed
+        seed, rate, or RNG stream layout changes the hash and forces a
+        cold start instead of a silently divergent resume).
+        """
+        digest = hashlib.sha256()
+        digest.update(repr(self.failed.shape).encode())
+        digest.update(self.failed.tobytes())
+        digest.update(self.capacity_scale.tobytes())
+        return digest.hexdigest()
 
 
 def _clamped_refs(

@@ -178,3 +178,27 @@ class FrequencyResidency:
         """Fleet-wide counts per level."""
         totals = self._counts.sum(axis=0)
         return {level: int(totals[i]) for i, level in enumerate(self._levels)}
+
+    def snapshot(self) -> dict:
+        """Serializable copy of the residency counters."""
+        return {
+            "levels_ghz": self._levels,
+            "counts": self._counts.copy(),
+            "inactive": self._inactive.copy(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstall a :meth:`snapshot` taken from an identical tracker."""
+        if tuple(state["levels_ghz"]) != self._levels:
+            raise ValueError(
+                "snapshot tracks different frequency levels "
+                f"({tuple(state['levels_ghz'])} vs {self._levels})"
+            )
+        counts = np.array(state["counts"], dtype=np.int64)
+        inactive = np.array(state["inactive"], dtype=np.int64)
+        if counts.shape != self._counts.shape or inactive.shape != self._inactive.shape:
+            raise ValueError("snapshot covers a different fleet size")
+        if counts.min(initial=0) < 0 or inactive.min(initial=0) < 0:
+            raise ValueError("snapshot contains negative residency counts")
+        self._counts = counts
+        self._inactive = inactive

@@ -65,6 +65,11 @@ class ReplayResult:
     faults:
         Fault-mode accounting (see :class:`FaultStats`); ``None`` when
         the replay ran without fault injection.
+    audit_events:
+        Invariant violations the runtime auditor recorded at checkpoint
+        boundaries (:class:`repro.sim.audit.AuditEvent`); empty unless a
+        checkpoint policy with ``on_violation="warn"|"degrade"`` caught
+        something.
     """
 
     approach_name: str
@@ -79,6 +84,7 @@ class ReplayResult:
     mean_active_servers: float
     info_per_period: tuple[Mapping[str, object], ...] = field(default_factory=tuple)
     faults: FaultStats | None = None
+    audit_events: tuple = field(default_factory=tuple)
 
     @property
     def num_periods(self) -> int:

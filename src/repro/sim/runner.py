@@ -58,6 +58,7 @@ import hashlib
 import json
 import os
 import pickle
+import re
 import signal
 import threading
 import time
@@ -70,6 +71,7 @@ from pathlib import Path
 
 from repro.infrastructure.server import ServerSpec
 from repro.sim.approaches import ConsolidationApproach
+from repro.sim.checkpoint import CheckpointPolicy
 from repro.sim.engine import ReplayConfig, replay
 from repro.sim.results import ReplayResult
 from repro.traces.trace import TraceSet
@@ -207,12 +209,42 @@ def _scenario_traces(scenario: Scenario) -> TraceSet:
 
 
 def _execute(scenario: Scenario) -> ReplayResult:
-    """Run one scenario to completion (worker entry point)."""
+    """Run one scenario to completion (worker entry point).
+
+    A scenario carrying a checkpoint policy always resumes from that
+    policy's directory: on a first attempt the directory is empty (cold
+    start), while a *retried* scenario picks up from its last checkpoint
+    instead of replaying from period 1.
+    """
     traces = _scenario_traces(scenario)
     approach = scenario.approach_factory()
     if scenario.approach_name is not None:
         approach.name = scenario.approach_name
-    return replay(traces, scenario.spec, scenario.num_servers, approach, scenario.replay)
+    checkpoint = scenario.replay.checkpoint
+    return replay(
+        traces,
+        scenario.spec,
+        scenario.num_servers,
+        approach,
+        scenario.replay,
+        resume_from=checkpoint.path if checkpoint is not None else None,
+    )
+
+
+#: One warning per process when a requested timeout cannot be enforced.
+_TIMEOUT_FALLBACK_WARNED = False
+
+
+def _warn_timeout_unavailable(reason: str) -> None:
+    global _TIMEOUT_FALLBACK_WARNED
+    if _TIMEOUT_FALLBACK_WARNED:
+        return
+    _TIMEOUT_FALLBACK_WARNED = True
+    warnings.warn(
+        f"timeout_s requested but {reason}; scenarios run without a deadline",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def _execute_guarded(scenario: Scenario, timeout_s: float | None) -> ReplayResult:
@@ -223,11 +255,16 @@ def _execute_guarded(scenario: Scenario, timeout_s: float | None) -> ReplayResul
     :class:`ScenarioTimeout` through the future instead of having to be
     killed (which would break the pool for every in-flight sibling).
     Best-effort by design — platforms without ``SIGALRM`` and non-main
-    threads run unguarded.
+    threads degrade to an unguarded run, announced by a single
+    ``RuntimeWarning`` per process rather than silently.
     """
-    if timeout_s is None or not hasattr(signal, "SIGALRM"):
+    if timeout_s is None:
+        return _execute(scenario)
+    if not hasattr(signal, "SIGALRM"):
+        _warn_timeout_unavailable("this platform has no SIGALRM")
         return _execute(scenario)
     if threading.current_thread() is not threading.main_thread():
+        _warn_timeout_unavailable("SIGALRM only works on the main thread")
         return _execute(scenario)
 
     def _on_alarm(signum, frame):
@@ -268,13 +305,22 @@ def _scenario_key(scenario: Scenario) -> str | None:
     Pinned trace matrices enter through their (cheap) fingerprint rather
     than their full bytes.  ``None`` (unpicklable scenario) never
     matches a journal entry, so such scenarios simply re-run on resume.
+
+    The checkpoint policy is deliberately excluded from the identity:
+    checkpointing is operational (where intermediate state lands), never
+    observable in the result — the same sweep run with or without
+    checkpoints must hit the same journal entries.
     """
     identity = (
         scenario.name,
         scenario.approach_factory,
         scenario.spec,
         scenario.num_servers,
-        scenario.replay,
+        (
+            scenario.replay
+            if scenario.replay.checkpoint is None
+            else replace(scenario.replay, checkpoint=None)
+        ),
         scenario.trace_builder,
         scenario.approach_name,
         scenario.seed,
@@ -294,7 +340,13 @@ def _read_journal(path: Path) -> dict[str, tuple[str | None, ReplayResult]]:
         text = path.read_text()
     except OSError:
         return entries
-    for line in text.splitlines():
+    lines = text.splitlines()
+    if text and not text.endswith("\n") and lines:
+        # A trailing line without its newline is a torn append (the
+        # writer died mid-write); drop it explicitly rather than relying
+        # on it failing to parse — a torn line can still be valid JSON.
+        lines.pop()
+    for line in lines:
         line = line.strip()
         if not line:
             continue
@@ -350,6 +402,11 @@ def _raise_failures(
     raise first
 
 
+def _checkpoint_dirname(name: str) -> str:
+    """Filesystem-safe per-scenario checkpoint directory name."""
+    return re.sub(r"[^A-Za-z0-9._-]", "_", name)
+
+
 def run_scenarios(
     scenarios: Sequence[Scenario],
     workers: int | None = None,
@@ -359,6 +416,8 @@ def run_scenarios(
     retry_backoff_s: float = 0.5,
     journal: str | Path | None = None,
     resume: bool = False,
+    checkpoint_every: int | None = None,
+    checkpoint_dir: str | Path | None = None,
 ) -> list[ReplayResult]:
     """Replay every scenario, returning results in scenario order.
 
@@ -383,6 +442,15 @@ def run_scenarios(
         land (even when a later scenario fails permanently); with
         ``resume=True`` journaled results whose scenario-identity hash
         still matches are returned without re-execution.
+    ``checkpoint_every`` / ``checkpoint_dir``
+        Mid-replay checkpoints (see :mod:`repro.sim.checkpoint`): each
+        scenario gets ``checkpoint_dir/<sanitized name>/`` and emits a
+        checkpoint every ``checkpoint_every`` completed periods.  This
+        composes with the journal (scenario granularity) and the retry
+        path (period granularity): a retried scenario resumes from its
+        last checkpoint instead of restarting, and the checkpoint policy
+        never enters the journal's scenario-identity hash because it
+        cannot change results.
 
     When scenarios fail beyond their retry budget, every completed
     result has already been journaled, then the first failure is
@@ -405,8 +473,26 @@ def run_scenarios(
         raise ValueError("retry_backoff_s must be non-negative")
     if resume and journal is None:
         raise ValueError("resume=True requires a journal path")
+    if (checkpoint_every is None) != (checkpoint_dir is None):
+        raise ValueError("checkpoint_every and checkpoint_dir go together")
     if not scenarios:
         return []
+
+    if checkpoint_every is not None:
+        base = Path(checkpoint_dir)
+        scenarios = [
+            replace(
+                scenario,
+                replay=replace(
+                    scenario.replay,
+                    checkpoint=CheckpointPolicy(
+                        path=base / _checkpoint_dirname(scenario.name),
+                        every_periods=checkpoint_every,
+                    ),
+                ),
+            )
+            for scenario in scenarios
+        ]
 
     if workers is None:
         workers = default_workers()
@@ -475,6 +561,9 @@ def _run_pending(
         if journal_fh is not None:
             journal_fh.write(_journal_line(scenario.name, _scenario_key(scenario), result))
             journal_fh.flush()
+            # Durable per line: a torn tail after a crash costs exactly
+            # one entry (dropped by _read_journal), never the journal.
+            os.fsync(journal_fh.fileno())
 
     def backoff(round_index: int) -> None:
         if round_index and retry_backoff_s:

@@ -44,3 +44,55 @@ class TestMain:
         assert main(["run", "fig1", "--fast"]) == 0
         out = capsys.readouterr().out
         assert "Intra-cluster correlation" in out
+
+
+class TestResilienceFlags:
+    def test_parser_accepts_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "availability",
+                "--fast",
+                "--journal",
+                "sweep.jsonl",
+                "--resume",
+                "--checkpoint-every",
+                "5",
+                "--checkpoint-dir",
+                "ckpts",
+            ]
+        )
+        assert args.journal == "sweep.jsonl"
+        assert args.resume
+        assert args.checkpoint_every == 5
+        assert args.checkpoint_dir == "ckpts"
+
+    def test_unsupported_flag_is_a_clear_error(self):
+        """Experiments that do not run through the scenario runner reject
+        the runner-only flags instead of silently ignoring them."""
+        with pytest.raises(SystemExit, match="--checkpoint-every"):
+            main(["run", "fig1", "--checkpoint-every", "5", "--checkpoint-dir", "x"])
+        with pytest.raises(SystemExit, match="--journal"):
+            main(["run", "fig1", "--journal", "sweep.jsonl"])
+
+    def test_availability_fast_with_checkpoints(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "availability",
+                    "--fast",
+                    "--journal",
+                    str(tmp_path / "sweep.jsonl"),
+                    "--checkpoint-every",
+                    "2",
+                    "--checkpoint-dir",
+                    str(tmp_path / "ck"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert (tmp_path / "sweep.jsonl").exists()
+        assert any((tmp_path / "ck").rglob("*.ckpt"))

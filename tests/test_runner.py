@@ -527,3 +527,155 @@ class TestHardening:
         run_scenarios([_scenario("second")], journal=journal)
         entries = _read_journal(journal)
         assert sorted(entries) == ["first", "second"]
+
+    def test_journal_drops_trailing_partial_line(self, tmp_path):
+        """A torn final append (crash mid-write, no newline) must not be
+        trusted even when the fragment happens to be valid JSON."""
+        journal = tmp_path / "sweep.jsonl"
+        [expected] = run_scenarios([_scenario("solid")], journal=journal)
+        with open(journal, "a") as fh:
+            fh.write('{"name": "phantom", "key": "')  # no trailing newline
+        entries = _read_journal(journal)
+        assert "solid" in entries
+        assert "phantom" not in entries
+        # And the same holds when the torn tail is complete JSON — only
+        # newline-terminated lines count as committed.
+        journal.write_text(journal.read_text().split("\n")[0] + "\n")
+        with open(journal, "a") as fh:
+            fh.write('{"name": "phantom", "key": null, "summary": {}}')
+        assert "phantom" not in _read_journal(journal)
+
+    def test_timeout_degrades_off_main_thread(self, monkeypatch):
+        """timeout_s off the main thread: unguarded run + one warning."""
+        import threading
+        import warnings as warnings_mod
+
+        import repro.sim.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "_TIMEOUT_FALLBACK_WARNED", False)
+        scenario = _scenario("threaded")
+        results: list = []
+        caught: list = []
+
+        def work():
+            with warnings_mod.catch_warnings(record=True) as records:
+                warnings_mod.simplefilter("always")
+                results.append(runner_mod._execute_guarded(scenario, 30.0))
+                results.append(runner_mod._execute_guarded(scenario, 30.0))
+                caught.extend(records)
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        assert len(results) == 2 and all(r.approach_name == "BFD" for r in results)
+        fallback = [r for r in caught if "timeout_s requested" in str(r.message)]
+        assert len(fallback) == 1  # warned exactly once per process
+        assert issubclass(fallback[0].category, RuntimeWarning)
+
+
+class _MidReplayFlakyApproach(BfdApproach):
+    """Counts decisions; dies once at the third one (sentinel-gated)."""
+
+    def __init__(self, log_path, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._log = Path(log_path)
+
+    def decide(self, window):
+        with open(self._log, "a") as fh:
+            fh.write("d\n")
+        sentinel = self._log.with_suffix(".crashed")
+        if self._log.read_text().count("d") == 3 and not sentinel.exists():
+            sentinel.write_text("crashed")
+            raise RuntimeError("mid-replay crash")
+        return super().decide(window)
+
+
+class TestCheckpointIntegration:
+    """run_scenarios' checkpoint wiring (engine-level resume is covered
+    by tests/test_checkpoint.py)."""
+
+    def test_checkpoint_knobs_go_together(self, tmp_path):
+        with pytest.raises(ValueError, match="go together"):
+            run_scenarios([_scenario("s")], checkpoint_every=5)
+        with pytest.raises(ValueError, match="go together"):
+            run_scenarios([_scenario("s")], checkpoint_dir=tmp_path)
+
+    def test_checkpointed_sweep_is_byte_identical(self, tmp_path):
+        batch = [_scenario("a"), _scenario("b", traces=_traces(5))]
+        plain = run_scenarios(batch)
+        checkpointed = run_scenarios(
+            batch, checkpoint_every=1, checkpoint_dir=tmp_path / "ck"
+        )
+        assert [pickle.dumps(r) for r in plain] == [pickle.dumps(r) for r in checkpointed]
+        # One sanitized directory per scenario, files inside.
+        assert sorted(p.name for p in (tmp_path / "ck").iterdir()) == ["a", "b"]
+
+    def test_retry_resumes_from_last_checkpoint(self, tmp_path):
+        """A retried scenario restarts mid-stream, not from scratch, and
+        still produces the byte-identical result."""
+        clean_log = tmp_path / "clean.log"
+        clean_log.with_suffix(".crashed").write_text("no crash")
+        clean_scenario = _scenario(
+            "flaky",
+            traces=_traces(periods=5),
+            approach_factory=_special_factory(_MidReplayFlakyApproach, str(clean_log)),
+        )
+        [reference] = run_scenarios([clean_scenario])
+        clean_decides = clean_log.read_text().count("d")
+
+        log = tmp_path / "crashy.log"
+        scenario = _scenario(
+            "flaky",
+            traces=_traces(periods=5),
+            approach_factory=_special_factory(_MidReplayFlakyApproach, str(log)),
+        )
+        [result] = run_scenarios(
+            [scenario],
+            retries=1,
+            retry_backoff_s=0.0,
+            checkpoint_every=1,
+            checkpoint_dir=tmp_path / "ck",
+        )
+        assert pickle.dumps(result) == pickle.dumps(reference)
+        total_decides = log.read_text().count("d")
+        assert total_decides < 2 * clean_decides, (
+            f"retry re-ran the whole replay ({total_decides} decisions "
+            f"vs {clean_decides} clean)"
+        )
+
+    def test_scenario_key_ignores_checkpoint_policy(self, tmp_path):
+        """Checkpointing is operational, not part of the scenario's
+        identity: journal entries stay valid either way."""
+        from dataclasses import replace
+
+        from repro.sim.checkpoint import CheckpointPolicy
+        from repro.sim.runner import _scenario_key
+
+        scenario = _scenario("s")
+        with_policy = replace(
+            scenario,
+            replay=replace(
+                scenario.replay, checkpoint=CheckpointPolicy(path=tmp_path / "ck")
+            ),
+        )
+        assert _scenario_key(scenario) == _scenario_key(with_policy)
+
+        journal = tmp_path / "sweep.jsonl"
+        log = tmp_path / "executions.log"
+        def batch():
+            return [
+                _scenario(
+                    "counted",
+                    approach_factory=_special_factory(_CountingApproach, str(log)),
+                )
+            ]
+
+        run_scenarios(batch(), journal=journal)
+        run_scenarios(
+            batch(),
+            journal=journal,
+            resume=True,
+            checkpoint_every=1,
+            checkpoint_dir=tmp_path / "ck2",
+        )
+        assert log.read_text().count("run") == 1  # resumed, not re-executed

@@ -123,6 +123,7 @@ def check_bench_table(errors: list[str]) -> None:
     sweep = bench["allocate_sweep"]
     horizon = bench["horizon_percentile"]
     faulty = bench["replay_faulty"]
+    checkpoint = bench["replay_checkpoint"]
     expected = {
         "cost-matrix build": [kernels["build_ms"]],
         "streaming cost update": [kernels["update_ms"]],
@@ -136,6 +137,9 @@ def check_bench_table(errors: list[str]) -> None:
         ],
         "p2 fold vs rebuild": [horizon["p2_fold_ms"], horizon["rebuild_ms"]],
         "fault-mode replay": [faulty["variants"]["faulty"]["per_period_ms"]],
+        "checkpointed replay": [
+            checkpoint["variants"]["checkpointed"]["per_period_ms"]
+        ],
     }
     for label, values in expected.items():
         quoted = _row_numbers(readme, label)

@@ -50,6 +50,8 @@ GATED_ENTRIES: tuple[tuple[str, str, str], ...] = (
     ("horizon_percentile", "max_rel_deviation", "lower"),
     ("replay_faulty", "masked_vs_plain", "lower"),
     ("replay_faulty", "faulty_vs_plain", "lower"),
+    ("replay_checkpoint", "disabled_vs_plain", "lower"),
+    ("replay_checkpoint", "checkpoint_vs_plain", "lower"),
 )
 
 #: Wall-clock entries shown for context (never gated; box-dependent).
@@ -60,6 +62,7 @@ INFORMATIONAL_ENTRIES: tuple[tuple[str, str], ...] = (
     ("replay", "modes.static.per_period_ms"),
     ("replay", "modes.dynamic.per_period_ms"),
     ("replay_faulty", "variants.faulty.per_period_ms"),
+    ("replay_checkpoint", "variants.checkpointed.per_period_ms"),
     ("synthesis", "v2_ms"),
     ("datacenter_traces", "v2_ms"),
     ("allocate_sweep", "warm_ms"),

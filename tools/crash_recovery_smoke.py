@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Crash-recovery smoke test: SIGKILL a checkpointed replay, resume it.
+
+CI's end-to-end proof that the checkpoint subsystem survives a real
+crash, not just an in-process exception:
+
+1. spawn a child process running a small checkpointed replay whose
+   approach sleeps per decision (so the parent can reliably kill it
+   between checkpoints),
+2. wait for the first checkpoint file, then SIGKILL the child,
+3. re-run the same replay with ``resume_from`` pointing at the
+   checkpoint directory, letting it finish,
+4. compare the resumed result byte-for-byte (``pickle.dumps``) against
+   an uninterrupted in-process reference replay.
+
+Exit code 0 on byte-identity, 1 on any divergence or setup failure.
+Usage: ``python tools/crash_recovery_smoke.py [--workdir DIR]`` (the
+child re-enters this script with ``--child``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.infrastructure.server import XEON_E5410  # noqa: E402
+from repro.sim.approaches import BfdApproach  # noqa: E402
+from repro.sim.checkpoint import CheckpointPolicy, list_checkpoints  # noqa: E402
+from repro.sim.engine import ReplayConfig, replay  # noqa: E402
+from repro.traces.trace import TraceSet, UtilizationTrace  # noqa: E402
+
+NUM_VMS = 8
+NUM_SERVERS = 6
+PERIODS = 6
+SAMPLES_PER_PERIOD = 60
+DECIDE_SLEEP_S = 0.4
+
+
+def _traces() -> TraceSet:
+    rng = np.random.default_rng(2013)
+    n = PERIODS * SAMPLES_PER_PERIOD
+    return TraceSet(
+        UtilizationTrace(rng.uniform(0.2, 3.5, n), 5.0, f"vm{i}") for i in range(NUM_VMS)
+    )
+
+
+class SleepyBfd(BfdApproach):
+    """BFD with a per-decision sleep so a kill lands mid-replay."""
+
+    def decide(self, window):
+        time.sleep(DECIDE_SLEEP_S)
+        return super().decide(window)
+
+
+def _approach(sleepy: bool):
+    cls = SleepyBfd if sleepy else BfdApproach
+    return cls(
+        XEON_E5410.n_cores,
+        XEON_E5410.freq_levels_ghz,
+        max_servers=NUM_SERVERS,
+        default_reference=4.0,
+    )
+
+
+def _config(ckpt_dir: Path) -> ReplayConfig:
+    return ReplayConfig(
+        tperiod_s=SAMPLES_PER_PERIOD * 5.0,
+        checkpoint=CheckpointPolicy(path=ckpt_dir, every_periods=1, keep=100),
+    )
+
+
+def run_child(ckpt_dir: Path, out_path: Path) -> int:
+    """One checkpointed (and resumable) replay; writes the result pickle."""
+    result = replay(
+        _traces(),
+        XEON_E5410,
+        NUM_SERVERS,
+        _approach(sleepy=True),
+        _config(ckpt_dir),
+        resume_from=ckpt_dir,
+    )
+    out_path.write_bytes(pickle.dumps(result))
+    return 0
+
+
+def run_parent(workdir: Path) -> int:
+    ckpt_dir = workdir / "checkpoints"
+    out_path = workdir / "result.pkl"
+
+    child_cmd = [
+        sys.executable,
+        str(Path(__file__).resolve()),
+        "--child",
+        "--workdir",
+        str(workdir),
+    ]
+    child = subprocess.Popen(child_cmd)
+    deadline = time.monotonic() + 120.0
+    try:
+        while time.monotonic() < deadline:
+            if list_checkpoints(ckpt_dir):
+                break
+            if child.poll() is not None:
+                print("FAIL: child exited before writing any checkpoint")
+                return 1
+            time.sleep(0.05)
+        else:
+            print("FAIL: no checkpoint appeared within 120 s")
+            return 1
+    finally:
+        if child.poll() is None:
+            child.send_signal(signal.SIGKILL)
+        child.wait(timeout=60)
+    if out_path.exists():
+        print("FAIL: child finished before it could be killed (slow it down)")
+        return 1
+    print(
+        f"killed child after {len(list_checkpoints(ckpt_dir))} checkpoint(s); resuming"
+    )
+
+    rerun = subprocess.run(child_cmd, timeout=300, check=False)
+    if rerun.returncode != 0 or not out_path.exists():
+        print(f"FAIL: resumed run exited {rerun.returncode} without a result")
+        return 1
+    resumed = out_path.read_bytes()
+
+    # The sleep only slows the child down; the decisions are identical,
+    # so the fast approach gives the same reference bytes.
+    reference = pickle.dumps(
+        replay(
+            _traces(),
+            XEON_E5410,
+            NUM_SERVERS,
+            _approach(sleepy=False),
+            ReplayConfig(tperiod_s=SAMPLES_PER_PERIOD * 5.0),
+        )
+    )
+    if resumed != reference:
+        print("FAIL: resumed result is not byte-identical to the reference replay")
+        return 1
+    print("OK: SIGKILL'd replay resumed byte-identically")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--workdir",
+        type=Path,
+        default=None,
+        help="scratch directory (a temporary one is created by default)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.child:
+        if args.workdir is None:
+            print("FAIL: --child requires --workdir")
+            return 1
+        return run_child(args.workdir / "checkpoints", args.workdir / "result.pkl")
+
+    if args.workdir is not None:
+        args.workdir.mkdir(parents=True, exist_ok=True)
+        return run_parent(args.workdir)
+    with tempfile.TemporaryDirectory(prefix="crash-recovery-") as tmp:
+        return run_parent(Path(tmp))
+
+
+if __name__ == "__main__":
+    sys.exit(main())
