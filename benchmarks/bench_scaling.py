@@ -37,18 +37,31 @@ factor, and the warm cross-period allocate stays under its budget.
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+import repro
 from repro.core.allocation import CorrelationAwareAllocator
 from repro.core.correlation import CostMatrix, StreamingCostMatrix
+from repro.core.sharding import (
+    ENERGY_DEVIATION_BOUND,
+    ShardedAllocator,
+    ShardingConfig,
+    placement_energy_proxy,
+)
 from repro.infrastructure.server import XEON_E5410
 from repro.sim.approaches import BfdApproach
 from repro.sim.engine import ReplayConfig, replay
+from repro.traces.datacenter import DatacenterTraceConfig, generate_datacenter_traces
 from repro.traces.synthesis import refine_trace_set
-from repro.traces.trace import TraceSet, UtilizationTrace
+from repro.traces.trace import ReferenceSpec, TraceSet, UtilizationTrace
 
 SIZES = (40, 200, 1000)
 WINDOW_SAMPLES = 720
@@ -94,6 +107,18 @@ HORIZON_PERCENTILE = 90.0
 HORIZON_P2_MAX_RATIO_VS_PEAK = 3.5
 HORIZON_P2_MIN_SPEEDUP_VS_REBUILD = 2.5
 HORIZON_P2_MAX_REL_DEVIATION = 0.10
+
+SHARDED_SMALL_VMS = 2000
+SHARDED_SMALL_CLUSTERS = 32
+SHARDED_SMALL_SHARDS = 8
+SHARDED_MIN_SPEEDUP = 1.5        # sharded vs exact allocate at N=2000
+SHARDED_LARGE_VMS = 20_000       # end-to-end run on every push
+SHARDED_LARGE_BUDGET_S = 60.0    # ~3.7 s measured on the reference box
+SHARDED_LARGE_RSS_MB = 1024.0    # ~263 MB measured
+SHARDED_DEEP_VMS = 100_000       # weekly deep smoke (REPRO_SHARDED_DEEP=1)
+SHARDED_DEEP_BUDGET_S = 360.0    # ~96 s measured on the reference box
+SHARDED_DEEP_RSS_MB = 4096.0     # ~1.1 GB measured
+SHARDED_DEEP_ENV = "REPRO_SHARDED_DEEP"
 
 
 def _fleet(n: int) -> TraceSet:
@@ -790,8 +815,6 @@ def test_horizon_percentile_gate(report, bench_json_merge):
 
 def test_percentile_streaming_scales(report):
     """Percentile mode (BatchPSquare over all pairs) stays online at N=200."""
-    from repro.traces.trace import ReferenceSpec
-
     fleet = _fleet(200)
     streaming = StreamingCostMatrix(fleet.names, ReferenceSpec(90.0))
     vector = fleet.matrix[:, 0]
@@ -800,3 +823,204 @@ def test_percentile_streaming_scales(report):
     update_ms = _time_ms(lambda: streaming.update(vector), 10)
     report(f"N=200 percentile-mode streaming update: {update_ms:.3f} ms")
     assert update_ms < UPDATE_BUDGET_MS_AT_1000
+
+
+def _clustered_population(num_vms: int, seed: int) -> TraceSet:
+    """A correlation-clustered v2 population (the sharded tier's target)."""
+    config = DatacenterTraceConfig(
+        num_vms=num_vms,
+        num_clusters=SHARDED_SMALL_CLUSTERS,
+        duration_s=4 * 3600.0,
+        period_s=300.0,
+        seed=seed,
+        profile_layout="v2",
+    )
+    window, _membership = generate_datacenter_traces(config)
+    return window
+
+
+# Child process for the end-to-end large-N run: a subprocess isolates
+# both the wall clock and the peak-RSS high-water mark from whatever the
+# rest of the bench session already allocated (``ru_maxrss`` can never
+# be reset in-process).
+_SHARDED_CHILD = """
+import json, resource, sys, time
+from repro.core.sharding import ShardedAllocator, ShardingConfig
+from repro.traces.datacenter import DatacenterTraceConfig, generate_datacenter_traces
+from repro.traces.trace import ReferenceSpec
+
+n = int(sys.argv[1])
+config = DatacenterTraceConfig(
+    num_vms=n, num_clusters=64, duration_s=4 * 3600.0, period_s=300.0,
+    seed=13, profile_layout="v2",
+)
+window, _membership = generate_datacenter_traces(config)
+references = dict(window.references(ReferenceSpec()))
+start = time.perf_counter()
+allocator = ShardedAllocator(sharding=ShardingConfig())
+placement = allocator.allocate(window, references, 8)
+wall_s = time.perf_counter() - start
+assert len(placement.assignment) == n, "sharded allocate dropped VMs"
+# ru_maxrss is KiB on Linux (the CI and reference boxes).
+print(json.dumps({
+    "wall_s": wall_s,
+    "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+    "servers": placement.num_servers,
+    "shards": allocator.last_num_shards,
+}))
+"""
+
+
+def _run_sharded_child(num_vms: int) -> dict:
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_dir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", _SHARDED_CHILD, str(num_vms)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(result.stdout.splitlines()[-1])
+
+
+def test_allocate_sharded_gate(report, bench_json_merge):
+    """The two-level sharded tier: bounded deviation, end-to-end scale.
+
+    Three gates pin the approximate-but-gated contract of
+    :mod:`repro.core.sharding`:
+
+    * at N=2000 the sharded placement's Eqn-4 energy proxy (scored on
+      the *exact* dense cost matrix) stays within
+      ``ENERGY_DEVIATION_BOUND`` of the exact allocator's, while beating
+      it by at least ``SHARDED_MIN_SPEEDUP`` on wall clock;
+    * ``num_shards=1`` degenerates to the exact allocator bit-exactly
+      (same assignment, same fleet size) — the approximation is the
+      sharding, never the per-shard solver;
+    * an end-to-end N=20k placement (N=100k under ``REPRO_SHARDED_DEEP=1``,
+      the weekly deep smoke) finishes on one box inside a wall-clock and
+      peak-RSS budget, measured in a subprocess so the rest of the bench
+      session cannot pollute the high-water mark.
+    """
+    n_cores = XEON_E5410.n_cores
+    levels = XEON_E5410.freq_levels_ghz
+    window = _clustered_population(SHARDED_SMALL_VMS, seed=11)
+    references = dict(window.references(ReferenceSpec()))
+    names = list(window.names)
+
+    start = time.perf_counter()
+    matrix = CostMatrix.from_traces(window)
+    exact = CorrelationAwareAllocator().allocate(
+        names,
+        references,
+        matrix.cost,
+        n_cores,
+        None,
+        cost_array=matrix.as_array(),
+        name_index=matrix.name_index,
+    )
+    exact_ms = (time.perf_counter() - start) * 1e3
+
+    start = time.perf_counter()
+    sharded_allocator = ShardedAllocator(
+        sharding=ShardingConfig(num_shards=SHARDED_SMALL_SHARDS)
+    )
+    sharded = sharded_allocator.allocate(window, references, n_cores)
+    sharded_ms = (time.perf_counter() - start) * 1e3
+    speedup = exact_ms / sharded_ms
+
+    assert len(sharded.assignment) == SHARDED_SMALL_VMS, "sharded allocate dropped VMs"
+    assert sharded_allocator.last_num_shards == SHARDED_SMALL_SHARDS
+
+    # Deviation is scored on the exact matrix: both placements pay the
+    # same (exact) Eqn-4 bill, only the packing decisions differ.
+    exact_proxy = placement_energy_proxy(exact, references, matrix.cost, levels, n_cores)
+    sharded_proxy = placement_energy_proxy(sharded, references, matrix.cost, levels, n_cores)
+    proxy_ratio = sharded_proxy / exact_proxy
+    deviation = abs(proxy_ratio - 1.0)
+
+    # Degenerate single shard: bit-identical to the exact allocator.
+    single = ShardedAllocator(sharding=ShardingConfig(num_shards=1)).allocate(
+        window, references, n_cores
+    )
+    assert dict(single.assignment) == dict(exact.assignment), (
+        "num_shards=1 must reproduce the exact allocator's assignment bit-exactly"
+    )
+    assert single.num_servers == exact.num_servers
+
+    deep = os.environ.get(SHARDED_DEEP_ENV, "") not in ("", "0")
+    large = _run_sharded_child(SHARDED_LARGE_VMS)
+    payload = {
+        "vms": SHARDED_SMALL_VMS,
+        "shards": SHARDED_SMALL_SHARDS,
+        "exact_ms": round(exact_ms, 3),
+        "sharded_ms": round(sharded_ms, 3),
+        "speedup_vs_exact": round(speedup, 3),
+        "proxy_ratio": round(proxy_ratio, 5),
+        "proxy_deviation": round(deviation, 5),
+        "deviation_bound": ENERGY_DEVIATION_BOUND,
+        "min_speedup": SHARDED_MIN_SPEEDUP,
+        "large": {
+            "vms": SHARDED_LARGE_VMS,
+            "wall_s": round(large["wall_s"], 3),
+            "peak_rss_mb": round(large["peak_rss_mb"], 1),
+            "servers": large["servers"],
+            "shards": large["shards"],
+            "budget_s": SHARDED_LARGE_BUDGET_S,
+            "rss_budget_mb": SHARDED_LARGE_RSS_MB,
+        },
+    }
+    if deep:
+        big = _run_sharded_child(SHARDED_DEEP_VMS)
+        payload["deep"] = {
+            "vms": SHARDED_DEEP_VMS,
+            "wall_s": round(big["wall_s"], 3),
+            "peak_rss_mb": round(big["peak_rss_mb"], 1),
+            "servers": big["servers"],
+            "shards": big["shards"],
+            "budget_s": SHARDED_DEEP_BUDGET_S,
+            "rss_budget_mb": SHARDED_DEEP_RSS_MB,
+        }
+    path = bench_json_merge("scaling", "allocate_sharded", payload)
+    lines = [
+        f"sharded allocate at N={SHARDED_SMALL_VMS}: exact {exact_ms:.0f} ms, "
+        f"sharded {sharded_ms:.0f} ms ({speedup:.2f}x), "
+        f"energy-proxy ratio {proxy_ratio:.4f}",
+        f"end-to-end N={SHARDED_LARGE_VMS}: {large['wall_s']:.1f} s, "
+        f"{large['peak_rss_mb']:.0f} MB peak RSS, {large['shards']} shards",
+    ]
+    if deep:
+        lines.append(
+            f"deep N={SHARDED_DEEP_VMS}: {big['wall_s']:.1f} s, "
+            f"{big['peak_rss_mb']:.0f} MB peak RSS, {big['shards']} shards"
+        )
+    report("\n".join(lines) + f"\npersisted to {path}")
+
+    assert deviation <= ENERGY_DEVIATION_BOUND, (
+        f"sharded energy proxy deviates {deviation:.4f} from exact, "
+        f"committed bound is {ENERGY_DEVIATION_BOUND}"
+    )
+    assert speedup >= SHARDED_MIN_SPEEDUP, (
+        f"sharded allocate only {speedup:.2f}x faster than exact at "
+        f"N={SHARDED_SMALL_VMS}, gate is {SHARDED_MIN_SPEEDUP}x"
+    )
+    assert large["wall_s"] < SHARDED_LARGE_BUDGET_S, (
+        f"N={SHARDED_LARGE_VMS} sharded allocate took {large['wall_s']:.1f} s, "
+        f"budget is {SHARDED_LARGE_BUDGET_S} s"
+    )
+    assert large["peak_rss_mb"] < SHARDED_LARGE_RSS_MB, (
+        f"N={SHARDED_LARGE_VMS} sharded allocate peaked at "
+        f"{large['peak_rss_mb']:.0f} MB, budget is {SHARDED_LARGE_RSS_MB} MB"
+    )
+    if deep:
+        assert big["wall_s"] < SHARDED_DEEP_BUDGET_S, (
+            f"N={SHARDED_DEEP_VMS} sharded allocate took {big['wall_s']:.1f} s, "
+            f"budget is {SHARDED_DEEP_BUDGET_S} s"
+        )
+        assert big["peak_rss_mb"] < SHARDED_DEEP_RSS_MB, (
+            f"N={SHARDED_DEEP_VMS} sharded allocate peaked at "
+            f"{big['peak_rss_mb']:.0f} MB, budget is {SHARDED_DEEP_RSS_MB} MB"
+        )

@@ -75,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for per-scenario checkpoint files "
         "(requires --checkpoint-every)",
     )
+    run_parser.add_argument(
+        "--allocator",
+        choices=["exact", "sharded"],
+        default=None,
+        help="allocation backend for the proposed approach: 'exact' (dense "
+        "Fig-2 fast path, the default) or 'sharded' (the approximate-but-"
+        "gated two-level 100k-VM tier; experiments that build Setup-2 "
+        "scenarios only)",
+    )
 
     export_parser = sub.add_parser(
         "export-traces", help="write the synthetic Setup-2 population to CSV"
@@ -168,6 +177,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "resume": args.resume or None,
         "checkpoint_every": args.checkpoint_every,
         "checkpoint_dir": args.checkpoint_dir,
+        "allocator": args.allocator,
     }
     requested = {key: value for key, value in extras.items() if value is not None}
     if "resume" in requested:

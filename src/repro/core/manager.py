@@ -26,6 +26,7 @@ from collections.abc import Mapping
 from repro.core.allocation import AllocationConfig, CorrelationAwareAllocator
 from repro.core.correlation import CostMatrix, RollingCostHorizon
 from repro.core.placement import Placement
+from repro.core.sharding import ShardedAllocator, ShardedCostView, ShardingConfig
 from repro.core.vf_control import correlation_aware_frequency, estimate_active_servers
 from repro.infrastructure.dvfs import FrequencyLadder, StaticVfSetting
 from repro.prediction.predictors import LastValuePredictor, Predictor
@@ -64,6 +65,12 @@ class ManagerConfig:
         ``"exact"`` or ``"p2"`` — only meaningful for multi-window
         percentile-reference horizons (see
         :class:`~repro.core.correlation.RollingCostHorizon`).
+    allocator:
+        ``"exact"`` (dense Fig-2 fast path, the default) or ``"sharded"``
+        (the two-level 100k-VM tier of :mod:`repro.core.sharding` —
+        approximate but gated, single-window costs, no N×N matrix).
+    sharding:
+        Knobs of the sharded tier; ignored under ``allocator="exact"``.
     """
 
     n_cores: int
@@ -74,6 +81,8 @@ class ManagerConfig:
     default_reference: float = 1.0
     horizon_periods: int = 1
     horizon_mode: str = "exact"
+    allocator: str = "exact"
+    sharding: ShardingConfig | None = None
 
     def __post_init__(self) -> None:
         # NaN-safe: a bare ``x <= 0`` comparison passes NaN, so every
@@ -89,6 +98,10 @@ class ManagerConfig:
             raise ValueError(
                 f'horizon_mode must be "exact" or "p2", got {self.horizon_mode!r}'
             )
+        if self.allocator not in ("exact", "sharded"):
+            raise ValueError(
+                f'allocator must be "exact" or "sharded", got {self.allocator!r}'
+            )
 
 
 @dataclass(frozen=True)
@@ -99,7 +112,11 @@ class PeriodDecision:
     frequencies: Mapping[int, StaticVfSetting]
     predicted_references: Mapping[str, float]
     estimated_servers: int
-    cost_matrix: CostMatrix
+    #: Pairwise cost lookups behind the decision — a dense
+    #: :class:`CostMatrix` under ``allocator="exact"``, a
+    #: :class:`~repro.core.sharding.ShardedCostView` under ``"sharded"``
+    #: (same ``cost(a, b)`` surface, never materialized N×N).
+    cost_matrix: CostMatrix | ShardedCostView
 
     def frequency_of(self, server_index: int) -> float:
         """Convenience: the chosen frequency of one server."""
@@ -116,7 +133,12 @@ class PowerManager:
     ) -> None:
         self._config = config
         self._predictor = predictor or LastValuePredictor(default=config.default_reference)
-        self._allocator = CorrelationAwareAllocator(config.allocation)
+        if config.allocator == "sharded":
+            self._allocator = ShardedAllocator(
+                config.allocation, config.sharding, config.reference
+            )
+        else:
+            self._allocator = CorrelationAwareAllocator(config.allocation)
         self._ladder = FrequencyLadder(config.freq_levels_ghz)
         self._history: dict[str, list[float]] = {}
         self._horizon = RollingCostHorizon(
@@ -162,8 +184,26 @@ class PowerManager:
         """
         self.observe(window)
         predicted = self.predict(list(window.names))
-        matrix = self._horizon.push(window)
         estimated = estimate_active_servers(predicted, self._config.n_cores)
+        if self._config.allocator == "sharded":
+            placement = self._allocator.allocate(
+                window, predicted, self._config.n_cores, self._config.max_servers
+            )
+            view = self._allocator.cost_view()
+            frequencies = {
+                server: correlation_aware_frequency(
+                    list(members), predicted, view.cost, self._ladder, self._config.n_cores
+                )
+                for server, members in placement.by_server().items()
+            }
+            return PeriodDecision(
+                placement=placement,
+                frequencies=frequencies,
+                predicted_references=predicted,
+                estimated_servers=estimated,
+                cost_matrix=view,
+            )
+        matrix = self._horizon.push(window)
         placement = self._allocator.allocate(
             list(window.names),
             predicted,
@@ -201,15 +241,24 @@ class PowerManager:
         is amended, not re-made.
         """
         matrix = decision.cost_matrix
-        placement = self._allocator.evacuate(
-            decision.placement,
-            failed_servers,
-            decision.predicted_references,
-            self._config.n_cores,
-            self._config.max_servers,
-            cost_array=matrix.as_array(),
-            name_index=matrix.name_index,
-        )
+        if self._config.allocator == "sharded":
+            placement = self._allocator.evacuate(
+                decision.placement,
+                failed_servers,
+                decision.predicted_references,
+                self._config.n_cores,
+                self._config.max_servers,
+            )
+        else:
+            placement = self._allocator.evacuate(
+                decision.placement,
+                failed_servers,
+                decision.predicted_references,
+                self._config.n_cores,
+                self._config.max_servers,
+                cost_array=matrix.as_array(),
+                name_index=matrix.name_index,
+            )
         frequencies = {
             server: correlation_aware_frequency(
                 list(members),

@@ -93,14 +93,17 @@ def run(
     timeout_s: float | None = None,
     checkpoint_every: int | None = None,
     checkpoint_dir: str | Path | None = None,
+    allocator: str = "exact",
 ) -> ExperimentResult:
     """Sweep fault rates over the four approaches (one scenario batch).
 
     ``journal``/``resume``/``retries``/``timeout_s`` and the checkpoint
     knobs (``checkpoint_every``/``checkpoint_dir``) pass straight
-    through to :func:`repro.sim.runner.run_scenarios`.
+    through to :func:`repro.sim.runner.run_scenarios`; ``allocator``
+    selects the proposed approach's backend (sharded evacuations cross
+    shard boundaries, exercising the per-shard cache invalidation).
     """
-    base = Setup2Config()
+    base = Setup2Config(allocator=allocator)
     if fast:
         base = base.fast_variant()
     # Fast mode keeps the fault-free baseline plus the *highest* rate:

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.baselines.pcp import PcpConfig
 from repro.core.allocation import AllocationConfig
+from repro.core.sharding import ShardingConfig
 from repro.infrastructure.server import XEON_E5410, ServerSpec
 from repro.sim.approaches import BfdApproach, PcpApproach, ProposedApproach
 from repro.sim.engine import ReplayConfig
@@ -67,6 +68,12 @@ class Setup2Config:
     :mod:`repro.sim.faults`) into every replay built from this config;
     ``None`` (the default) keeps the replays on the byte-identical
     fault-free path.
+
+    ``allocator`` selects the proposed approach's allocation backend:
+    ``"exact"`` (the default dense Fig-2 fast path) or ``"sharded"``
+    (the approximate-but-gated two-level tier of
+    :mod:`repro.core.sharding`, tuned by ``sharding``).  The baselines
+    are unaffected either way.
     """
 
     traces: DatacenterTraceConfig = field(default_factory=DatacenterTraceConfig)
@@ -81,6 +88,8 @@ class Setup2Config:
     pcp: PcpConfig = field(default_factory=PcpConfig)
     horizon_mode: str = "p2"
     faults: FaultConfig | None = None
+    allocator: str = "exact"
+    sharding: ShardingConfig | None = None
 
     def fast_variant(self) -> Setup2Config:
         """A shrunk configuration for smoke tests (6 hours, 16 VMs).
@@ -108,6 +117,8 @@ class Setup2Config:
             pcp=self.pcp,
             horizon_mode=self.horizon_mode,
             faults=self.faults,
+            allocator=self.allocator,
+            sharding=self.sharding,
         )
 
 
@@ -190,6 +201,8 @@ def setup2_scenarios(
             allocation=config.allocation,
             default_reference=default_ref,
             horizon_mode=config.horizon_mode,
+            allocator=config.allocator,
+            sharding=config.sharding,
         ),
     }
     return [

@@ -58,13 +58,18 @@ def _render(rows: list[dict[str, object]], title: str) -> str:
     )
 
 
-def run(fast: bool = False, workers: int | None = None) -> ExperimentResult:
+def run(
+    fast: bool = False, workers: int | None = None, allocator: str = "exact"
+) -> ExperimentResult:
     """Regenerate both halves of Table II.
 
     Both v/f variants go through one scenario sweep — six independent
-    replays that ``workers`` can fan over a process pool.
+    replays that ``workers`` can fan over a process pool.  ``allocator``
+    selects the proposed approach's backend (``"exact"`` reproduces the
+    paper's numbers; ``"sharded"`` exercises the approximate two-level
+    tier end to end at paper scale).
     """
-    config = Setup2Config()
+    config = Setup2Config(allocator=allocator)
     if fast:
         config = config.fast_variant()
     fine = build_fine_traces(config)

@@ -30,6 +30,7 @@ from repro.baselines.ffd import first_fit_decreasing
 from repro.baselines.pcp import PcpConfig, peak_clustering_placement
 from repro.core.allocation import AllocationConfig, CorrelationAwareAllocator
 from repro.core.correlation import RollingCostHorizon
+from repro.core.sharding import ShardedAllocator, ShardingConfig
 from repro.core.placement import Placement
 from repro.core.vf_control import correlation_aware_frequency, peak_sum_frequency
 from repro.infrastructure.dvfs import FrequencyLadder, StaticVfSetting
@@ -167,13 +168,24 @@ class ProposedApproach:
         default_reference: float = 1.0,
         horizon_periods: int = 3,
         horizon_mode: str = "exact",
+        allocator: str = "exact",
+        sharding: ShardingConfig | None = None,
     ) -> None:
+        if allocator not in ("exact", "sharded"):
+            raise ValueError(f"allocator must be 'exact' or 'sharded', got {allocator!r}")
         self.name = "Proposed"
         self._n_cores = n_cores
         self._ladder = FrequencyLadder(freq_levels_ghz)
         self._max_servers = max_servers
         self._reference = reference or ReferenceSpec()
-        self._allocator = CorrelationAwareAllocator(allocation)
+        self._mode = allocator
+        # Either backend answers to the same lifecycle (reset_cache /
+        # snapshot / restore), so the audit and checkpoint layers — which
+        # duck-type the ``_allocator`` attribute — drive both unchanged.
+        if allocator == "sharded":
+            self._allocator = ShardedAllocator(allocation, sharding, self._reference)
+        else:
+            self._allocator = CorrelationAwareAllocator(allocation)
         self._refs = _ReferenceHistory(
             self._reference, predictor or LastValuePredictor(default_reference), default_reference
         )
@@ -194,8 +206,29 @@ class ProposedApproach:
         predicted = self._refs.observe_and_predict(window)
         if self._population != window.names:
             if self._population is not None:
+                # Sharded mode: this drops every *per-shard* reindex
+                # cache, not just a global one — each would otherwise pin
+                # a dead population's O(n²) permuted matrix in memory.
                 self._allocator.reset_cache()
             self._population = window.names
+        if self._mode == "sharded":
+            # Single-window costs: sharding re-derives its clusters and
+            # summaries from the current window each period, so the
+            # rolling horizon (whose fold produces a *dense* matrix)
+            # deliberately stays out of this path.
+            placement = self._allocator.allocate(
+                window, predicted, self._n_cores, self._max_servers
+            )
+            view = self._allocator.cost_view()
+            self._last_matrix = view
+            frequencies = {
+                server: correlation_aware_frequency(
+                    list(members), predicted, view.cost, self._ladder, self._n_cores
+                )
+                for server, members in placement.by_server().items()
+            }
+            info = {"num_shards": self._allocator.last_num_shards}
+            return ApproachDecision(placement, frequencies, predicted, info)
         matrix = self._horizon.push(window)
         self._last_matrix = matrix
         placement = self._allocator.allocate(
@@ -234,6 +267,13 @@ class ProposedApproach:
         matrix = self._last_matrix
         if matrix is None:
             raise RuntimeError("evacuate() requires a prior decide()")
+        if self._mode == "sharded":
+            # The sharded path prices evacuees through its cost view and
+            # invalidates the reindex cache of every shard the evacuation
+            # touches (failed or receiving) — see ShardedAllocator.
+            return self._allocator.evacuate(
+                placement, failed_servers, references, self._n_cores, num_servers
+            )
         return self._allocator.evacuate(
             placement,
             failed_servers,
@@ -256,14 +296,16 @@ class ProposedApproach:
 
         ``_last_matrix`` is an immutable :class:`CostMatrix` (read-only
         backing array), so holding a reference rather than a deep copy
-        is safe.
+        is safe.  In sharded mode it is a view over the allocator's own
+        plan, so it is *not* serialized — :meth:`restore` re-derives it,
+        keeping the snapshot canonical (byte-identical round trips).
         """
         return {
             "refs": self._refs.snapshot(),
             "horizon": self._horizon.snapshot(),
             "allocator": self._allocator.snapshot(),
             "population": self._population,
-            "last_matrix": self._last_matrix,
+            "last_matrix": None if self._mode == "sharded" else self._last_matrix,
         }
 
     def restore(self, state: dict) -> None:
@@ -272,7 +314,13 @@ class ProposedApproach:
         self._horizon.restore(state["horizon"])
         self._allocator.restore(state["allocator"])
         self._population = state["population"]
-        self._last_matrix = state["last_matrix"]
+        if self._mode == "sharded":
+            allocator = self._allocator
+            self._last_matrix = (
+                allocator.cost_view() if allocator.last_num_shards else None
+            )
+        else:
+            self._last_matrix = state["last_matrix"]
 
 
 class _PackingApproach:

@@ -22,6 +22,7 @@ import pytest
 
 from repro.analysis.stats import BatchPSquare, validate_p2_markers
 from repro.core.allocation import CorrelationAwareAllocator
+from repro.core.sharding import ShardedAllocator, ShardingConfig
 from repro.core.correlation import RollingCostHorizon, StreamingCostMatrix
 from repro.core.manager import ManagerConfig, PowerManager
 from repro.infrastructure.server import XEON_E5410
@@ -387,6 +388,61 @@ class TestComponentRoundTrips:
         twin = CorrelationAwareAllocator()
         twin.restore(pickle.loads(pickle.dumps(empty)))
         assert twin.snapshot() == {"reindex_cache": None}
+
+    def _sharded_window(self, seed: int, num_vms: int = 24) -> TraceSet:
+        rng = np.random.default_rng(200 + seed)
+        return TraceSet(
+            UtilizationTrace(rng.uniform(0.2, 3.5, 30), 5.0, f"vm{i:03d}")
+            for i in range(num_vms)
+        )
+
+    def test_sharded_allocator(self, tmp_path):
+        """Snapshot → checkpoint file → restore is byte-stable and live.
+
+        The restored twin's re-snapshot must pickle to the *same bytes*
+        (the crash-recovery invariant every component honours), and its
+        continued allocate/evacuate behaviour must match the live one.
+        """
+        sharding = ShardingConfig(num_shards=3)
+        window = self._sharded_window(0)
+        references = {vm: 2.5 for vm in window.names}
+
+        live = ShardedAllocator(sharding=sharding)
+        live.allocate(window, references, SPEC.n_cores)
+        blob = pickle.dumps(live.snapshot())
+
+        path = save_checkpoint(
+            checkpoint_file(tmp_path, 1), {"next_period": 2}, {"allocator": blob}
+        )
+        loaded = load_checkpoint(path)
+        twin = ShardedAllocator(sharding=sharding)
+        twin.restore(pickle.loads(bytes(loaded.sections["allocator"])))
+        assert pickle.dumps(twin.snapshot()) == blob
+
+        tail = self._sharded_window(1)
+        a = live.allocate(tail, references, SPEC.n_cores)
+        b = twin.allocate(tail, references, SPEC.n_cores)
+        assert dict(a.assignment) == dict(b.assignment)
+        assert a.num_servers == b.num_servers
+
+        failed = (a.assignment[sorted(a.assignment)[0]],)
+        ea = live.evacuate(a, failed, references, SPEC.n_cores)
+        eb = twin.evacuate(b, failed, references, SPEC.n_cores)
+        assert dict(ea.assignment) == dict(eb.assignment)
+
+    def test_sharded_proposed_approach(self):
+        approach = _proposed(allocator="sharded", sharding=ShardingConfig(num_shards=2))
+        for seed in range(2):
+            approach.decide(self._sharded_window(seed, num_vms=12))
+        state = pickle.loads(pickle.dumps(approach.snapshot()))
+        twin = _proposed(allocator="sharded", sharding=ShardingConfig(num_shards=2))
+        twin.restore(state)
+        for seed in range(2, 4):
+            window = self._sharded_window(seed, num_vms=12)
+            a = approach.decide(window)
+            b = twin.decide(window)
+            assert dict(a.placement.assignment) == dict(b.placement.assignment)
+            assert a.frequencies == b.frequencies
 
     def test_batch_psquare(self):
         rng = np.random.default_rng(5)

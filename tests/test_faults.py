@@ -14,6 +14,7 @@ from repro.core.correlation import CostMatrix
 from repro.core.manager import ManagerConfig, PowerManager
 from repro.core.placement import Placement
 from repro.core.server_cost import prospective_server_cost
+from repro.core.sharding import ShardedAllocator, ShardingConfig, shard_population
 from repro.infrastructure.dvfs import FrequencyLadder
 from repro.infrastructure.server import XEON_E5410
 from repro.sim.approaches import BfdApproach, ProposedApproach
@@ -234,6 +235,58 @@ def _setting(freq: float):
     return StaticVfSetting(freq_ghz=freq, target_ghz=freq)
 
 
+def _oracle_evacuate(placement, failed, refs, cost_fn, capacity, fleet, resolution):
+    """Scalar transcription of the documented evacuation rule.
+
+    Module-level: the exact allocator and the sharded tier document the
+    *same* rule (the sharded one prices pairs through its cost view), so
+    both suites pin themselves against this one transcription.
+    """
+    failed = set(failed)
+    members = {s: [] for s in range(fleet) if s not in failed}
+    remaining = {s: capacity for s in members}
+    for vm, server in placement.assignment.items():
+        if server not in failed:
+            members[server].append(vm)
+            remaining[server] -= refs[vm]
+    evacuees = sorted(
+        (vm for vm, s in placement.assignment.items() if s in failed),
+        key=lambda vm: (-refs[vm], vm),
+    )
+    targets = {}
+    for vm in evacuees:
+        demand = refs[vm]
+        best_key, best = None, None
+        for server in sorted(members):
+            if demand > remaining[server] + 1e-12:
+                continue
+            if members[server]:
+                cost = prospective_server_cost(members[server], vm, refs, cost_fn)
+                bucketed = (
+                    round(cost / resolution) * resolution if resolution > 0 else cost
+                )
+                key = (0, -bucketed, -remaining[server], server)
+            else:
+                key = (1, 0.0, 0.0, server)
+            if best_key is None or key < best_key:
+                best_key, best = key, server
+        if best is None and members:
+            best = min(members, key=lambda s: (-remaining[s], s))
+        if best is None:
+            continue
+        members[best].append(vm)
+        remaining[best] -= demand
+        targets[vm] = best
+    assignment = {}
+    for vm, server in placement.assignment.items():
+        if server in failed:
+            if vm in targets:
+                assignment[vm] = targets[vm]
+        else:
+            assignment[vm] = server
+    return assignment
+
+
 class TestAllocatorEvacuate:
     """The incremental dense path against a scalar transcription."""
 
@@ -243,53 +296,6 @@ class TestAllocatorEvacuate:
         rng = np.random.default_rng(seed + 100)
         refs = {name: float(rng.uniform(0.5, 4.0)) for name in traces.names}
         return traces, matrix, refs
-
-    def _oracle_evacuate(self, placement, failed, refs, cost_fn, capacity,
-                         fleet, resolution):
-        """Scalar transcription of the documented evacuation rule."""
-        failed = set(failed)
-        members = {s: [] for s in range(fleet) if s not in failed}
-        remaining = {s: capacity for s in members}
-        for vm, server in placement.assignment.items():
-            if server not in failed:
-                members[server].append(vm)
-                remaining[server] -= refs[vm]
-        evacuees = sorted(
-            (vm for vm, s in placement.assignment.items() if s in failed),
-            key=lambda vm: (-refs[vm], vm),
-        )
-        targets = {}
-        for vm in evacuees:
-            demand = refs[vm]
-            best_key, best = None, None
-            for server in sorted(members):
-                if demand > remaining[server] + 1e-12:
-                    continue
-                if members[server]:
-                    cost = prospective_server_cost(members[server], vm, refs, cost_fn)
-                    bucketed = (
-                        round(cost / resolution) * resolution if resolution > 0 else cost
-                    )
-                    key = (0, -bucketed, -remaining[server], server)
-                else:
-                    key = (1, 0.0, 0.0, server)
-                if best_key is None or key < best_key:
-                    best_key, best = key, server
-            if best is None and members:
-                best = min(members, key=lambda s: (-remaining[s], s))
-            if best is None:
-                continue
-            members[best].append(vm)
-            remaining[best] -= demand
-            targets[vm] = best
-        assignment = {}
-        for vm, server in placement.assignment.items():
-            if server in failed:
-                if vm in targets:
-                    assignment[vm] = targets[vm]
-            else:
-                assignment[vm] = server
-        return assignment
 
     @pytest.mark.parametrize("failed", [(0,), (1, 3), (0, 2, 4)])
     def test_matches_scalar_oracle(self, failed):
@@ -304,7 +310,7 @@ class TestAllocatorEvacuate:
             placement, failed, refs, 8, 6,
             cost_array=matrix.as_array(), name_index=matrix.name_index,
         )
-        expected = self._oracle_evacuate(
+        expected = _oracle_evacuate(
             placement, failed, refs, matrix.cost, 8.0, 6,
             AllocationConfig().cost_resolution,
         )
@@ -346,6 +352,109 @@ class TestAllocatorEvacuate:
                 placement, (0,), {}, 8,
                 cost_array=matrix.as_array(), name_index=matrix.name_index,
             )
+
+
+class TestShardedEvacuate:
+    """Evacuation through the sharded tier: same rule, per-shard caches.
+
+    The PR-6/7 interaction this pins: ``ShardedAllocator`` keeps one
+    reindex cache *per shard*, and an evacuation (or population swap)
+    must drop the caches of exactly the shards whose bin membership it
+    changed — evacuee shards and every shard sharing a receiving bin —
+    while untouched shards keep their warm caches.
+    """
+
+    def _sharded_population(self, seed: int = 31, num_vms: int = 24):
+        window = _traces(seed=seed, num_vms=num_vms, samples=120)
+        rng = np.random.default_rng(seed + 100)
+        refs = {name: float(rng.uniform(0.5, 4.0)) for name in window.names}
+        return window, refs
+
+    def test_cross_shard_evacuation_matches_scalar_oracle(self):
+        """Fail every server hosting shard-0 VMs; the re-placement of the
+        evacuees onto other shards' bins must follow the documented rule,
+        with pair costs priced through the sharded cost view."""
+        window, refs = self._sharded_population()
+        config = ShardingConfig(num_shards=3)
+        allocator = ShardedAllocator(sharding=config)
+        placement = allocator.allocate(window, refs, 8)
+
+        labels = shard_population(window, config, references=refs, n_cores=8)
+        by_name = dict(zip(window.names, labels, strict=True))
+        failed = sorted(
+            {placement.assignment[vm] for vm in window.names if by_name[vm] == 0}
+        )
+        assert failed and len(failed) < placement.num_servers
+
+        amended = allocator.evacuate(placement, failed, refs, 8)
+        expected = _oracle_evacuate(
+            placement, failed, refs, allocator.cost_view().cost, 8.0,
+            placement.num_servers, allocator.config.cost_resolution,
+        )
+        assert dict(amended.assignment) == expected
+        assert all(amended.server_of(vm) not in failed for vm in amended.vm_ids)
+
+    def test_evacuation_invalidates_only_touched_shard_caches(self):
+        window, refs = self._sharded_population(seed=37, num_vms=32)
+        config = ShardingConfig(num_shards=4)
+        allocator = ShardedAllocator(sharding=config)
+        placement = allocator.allocate(window, refs, 8)
+        warm = allocator.snapshot()["allocators"]
+        assert set(warm) == set(range(4))
+        assert all(shard["reindex_cache"] is not None for shard in warm.values())
+
+        failed = (0,)
+        amended = allocator.evacuate(placement, failed, refs, 8)
+
+        # Recompute the touched set independently of the allocator's own
+        # bookkeeping: evacuees, plus everything sharing a receiving bin.
+        labels = shard_population(window, config, references=refs, n_cores=8)
+        by_name = dict(zip(window.names, labels, strict=True))
+        evacuees = [
+            vm for vm in window.names if placement.assignment[vm] in set(failed)
+        ]
+        assert evacuees
+        receivers = {amended.assignment[vm] for vm in evacuees}
+        touched = set(evacuees)
+        for vm in window.names:
+            if amended.assignment[vm] in receivers:
+                touched.add(vm)
+        touched_shards = {int(by_name[vm]) for vm in touched}
+        untouched = set(range(4)) - touched_shards
+        assert untouched, "test needs at least one untouched shard to be meaningful"
+
+        after = allocator.snapshot()["allocators"]
+        for shard in range(4):
+            cache = after[shard]["reindex_cache"]
+            if shard in touched_shards:
+                assert cache is None, f"shard {shard} kept a stale reindex cache"
+            else:
+                assert cache is not None, f"untouched shard {shard} lost its cache"
+
+    def test_sharded_replay_under_faults(self):
+        traces = _traces()
+        sharded = partial(
+            ProposedApproach,
+            allocator="sharded",
+            sharding=ShardingConfig(num_shards=2),
+        )
+        result = _fault_replay(traces, FaultConfig(seed=3, crash_rate=0.2), sharded)
+        assert result.faults.evacuations > 0
+
+    def test_sharded_zero_rate_is_bit_identical(self):
+        traces = _traces()
+        sharded = partial(
+            ProposedApproach,
+            allocator="sharded",
+            sharding=ShardingConfig(num_shards=2),
+        )
+        base = _fault_replay(traces, None, sharded)
+        zero = _fault_replay(
+            traces, FaultConfig(crash_rate=0.0, degraded_rate=0.0), sharded
+        )
+        assert zero.faults.evacuations == 0
+        stripped = dataclasses.replace(zero, faults=None)
+        assert pickle.dumps(stripped) == pickle.dumps(base)
 
 
 class TestManagerEvacuate:

@@ -124,6 +124,7 @@ def check_bench_table(errors: list[str]) -> None:
     horizon = bench["horizon_percentile"]
     faulty = bench["replay_faulty"]
     checkpoint = bench["replay_checkpoint"]
+    sharded = bench["allocate_sharded"]
     expected = {
         "cost-matrix build": [kernels["build_ms"]],
         "streaming cost update": [kernels["update_ms"]],
@@ -139,6 +140,10 @@ def check_bench_table(errors: list[str]) -> None:
         "fault-mode replay": [faulty["variants"]["faulty"]["per_period_ms"]],
         "checkpointed replay": [
             checkpoint["variants"]["checkpointed"]["per_period_ms"]
+        ],
+        "sharded vs exact ALLOCATE": [
+            sharded["sharded_ms"],
+            sharded["exact_ms"],
         ],
     }
     for label, values in expected.items():

@@ -52,6 +52,8 @@ GATED_ENTRIES: tuple[tuple[str, str, str], ...] = (
     ("replay_faulty", "faulty_vs_plain", "lower"),
     ("replay_checkpoint", "disabled_vs_plain", "lower"),
     ("replay_checkpoint", "checkpoint_vs_plain", "lower"),
+    ("allocate_sharded", "speedup_vs_exact", "higher"),
+    ("allocate_sharded", "proxy_ratio", "lower"),
 )
 
 #: Wall-clock entries shown for context (never gated; box-dependent).
@@ -67,6 +69,10 @@ INFORMATIONAL_ENTRIES: tuple[tuple[str, str], ...] = (
     ("datacenter_traces", "v2_ms"),
     ("allocate_sweep", "warm_ms"),
     ("horizon_percentile", "p2_fold_ms"),
+    ("allocate_sharded", "sharded_ms"),
+    ("allocate_sharded", "large.wall_s"),
+    ("allocate_sharded", "deep.wall_s"),
+    ("allocate_sharded", "deep.peak_rss_mb"),
 )
 
 
