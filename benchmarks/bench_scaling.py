@@ -56,8 +56,10 @@ from repro.core.sharding import (
     ShardingConfig,
     placement_energy_proxy,
 )
+from repro.core.manager import ManagerConfig, PowerManager
 from repro.infrastructure.server import XEON_E5410
 from repro.sim.approaches import BfdApproach
+from repro.sim.churn import ChurnEngine, synthesize_churn_events
 from repro.sim.engine import ReplayConfig, replay
 from repro.traces.datacenter import DatacenterTraceConfig, generate_datacenter_traces
 from repro.traces.synthesis import refine_trace_set
@@ -119,6 +121,17 @@ SHARDED_DEEP_VMS = 100_000       # weekly deep smoke (REPRO_SHARDED_DEEP=1)
 SHARDED_DEEP_BUDGET_S = 360.0    # ~96 s measured on the reference box
 SHARDED_DEEP_RSS_MB = 4096.0     # ~1.1 GB measured
 SHARDED_DEEP_ENV = "REPRO_SHARDED_DEEP"
+
+CHURN_VMS = 10_000               # sustained-churn gate population
+CHURN_PERIODS = 6                # 1 cold + 5 measured
+CHURN_SAMPLES_PER_PERIOD = 12
+CHURN_EVENTS_PER_PERIOD = 32
+# Warm-period tail-latency stability: p99/p50 over the post-cold
+# periods.  Dimensionless, so compare_bench gates it across boxes; the
+# membership layer's whole point is that churn deltas do not trigger
+# rebuild-sized spikes, so warm periods should cluster tightly
+# (~1.1x measured; generous headroom for noisy CI neighbours).
+CHURN_LATENCY_RATIO_MAX = 3.0
 
 
 def _fleet(n: int) -> TraceSet:
@@ -1024,3 +1037,91 @@ def test_allocate_sharded_gate(report, bench_json_merge):
             f"N={SHARDED_DEEP_VMS} sharded allocate peaked at "
             f"{big['peak_rss_mb']:.0f} MB, budget is {SHARDED_DEEP_RSS_MB} MB"
         )
+
+
+def test_churn_gate(report, bench_json_merge):
+    """Sustained churn at N=10k through the incremental-membership stack.
+
+    A :class:`~repro.sim.churn.ChurnEngine` drives admit/decide/retire
+    over a synthesized arrival–departure feed against the sharded
+    allocator.  Because membership deltas invalidate only the shards
+    (and horizon rows) they touch, warm periods must not pay
+    rebuild-sized spikes: the gate pins the p99/p50 decide-latency
+    ratio over the post-cold periods (dimensionless, compared across
+    boxes by ``tools/compare_bench.py``), while the raw p99 latency and
+    event throughput travel as informational keys.
+    """
+    traces, _membership = generate_datacenter_traces(
+        DatacenterTraceConfig(
+            num_vms=CHURN_VMS,
+            num_clusters=64,
+            seed=17,
+            profile_layout="v2",
+        )
+    )
+    period_duration_s = CHURN_SAMPLES_PER_PERIOD * traces.period_s
+    events = synthesize_churn_events(
+        traces.names,
+        CHURN_PERIODS,
+        period_duration_s,
+        events_per_period=CHURN_EVENTS_PER_PERIOD,
+        seed=17,
+    )
+    manager = PowerManager(
+        ManagerConfig(
+            n_cores=XEON_E5410.n_cores,
+            freq_levels_ghz=XEON_E5410.freq_levels_ghz,
+            allocator="sharded",
+            sharding=ShardingConfig(),
+        )
+    )
+    engine = ChurnEngine(
+        manager, traces, events, samples_per_period=CHURN_SAMPLES_PER_PERIOD
+    )
+
+    start = time.perf_counter()
+    records = engine.run(CHURN_PERIODS)
+    wall_s = time.perf_counter() - start
+
+    assert len(records) == CHURN_PERIODS
+    assert all(record.active_vms > 0 for record in records)
+    total_events = sum(r.arrivals + r.departures for r in records)
+    assert total_events == len(events)
+
+    # The cold first period pays the initial build; the gate watches the
+    # steady churn regime that follows.
+    warm = np.array([record.decide_ms for record in records[1:]])
+    p50_ms = float(np.percentile(warm, 50.0))
+    p99_ms = float(np.percentile(warm, 99.0))
+    ratio = p99_ms / p50_ms
+    events_per_s = total_events / wall_s
+    cold_ms = records[0].decide_ms
+
+    payload = {
+        "vms": CHURN_VMS,
+        "periods": CHURN_PERIODS,
+        "events_per_period": CHURN_EVENTS_PER_PERIOD,
+        "total_events": total_events,
+        "active_mean": round(
+            float(np.mean([r.active_vms for r in records])), 1
+        ),
+        "cold_ms": round(cold_ms, 3),
+        "p50_ms": round(p50_ms, 3),
+        "p99_ms": round(p99_ms, 3),
+        "p99_vs_p50": round(ratio, 3),
+        "ratio_max": CHURN_LATENCY_RATIO_MAX,
+        "events_per_s": round(events_per_s, 3),
+        "wall_s": round(wall_s, 3),
+    }
+    path = bench_json_merge("scaling", "churn", payload)
+    report(
+        f"sustained churn at N={CHURN_VMS}: decide p50 {p50_ms:.0f} ms, "
+        f"p99 {p99_ms:.0f} ms (ratio {ratio:.2f}), cold {cold_ms:.0f} ms, "
+        f"{events_per_s:.1f} events/s over {len(events)} events"
+        f"\npersisted to {path}"
+    )
+    assert ratio <= CHURN_LATENCY_RATIO_MAX, (
+        f"churn p99/p50 decide ratio {ratio:.2f} exceeds "
+        f"{CHURN_LATENCY_RATIO_MAX}: membership deltas are triggering "
+        f"rebuild-sized spikes"
+    )

@@ -510,6 +510,53 @@ class PSquarePercentile:
         self._count = 0
 
 
+def _absorb_markers(
+    values: np.ndarray,
+    heights: np.ndarray,
+    positions: np.ndarray,
+    desired: np.ndarray,
+    increments: np.ndarray,
+) -> None:
+    """One vectorized P² absorb step, in place on the supplied arrays."""
+    low = values < heights[:, 0]
+    high = values >= heights[:, 4]
+    heights[low, 0] = values[low]
+    heights[high, 4] = values[high]
+    # The scalar walk `while cell < 3 and value >= heights[cell + 1]`
+    # counts how many of the middle markers the value clears.
+    cell = (values[:, None] >= heights[:, 1:4]).sum(axis=1)
+    cell[low] = 0
+    cell[high] = 3
+    positions += np.arange(5) > cell[:, None]
+    desired += increments
+    for i in (1, 2, 3):
+        delta = desired[:, i] - positions[:, i]
+        step_up = positions[:, i + 1] - positions[:, i]
+        step_down = positions[:, i - 1] - positions[:, i]
+        move = ((delta >= 1.0) & (step_up > 1.0)) | ((delta <= -1.0) & (step_down < -1.0))
+        if not move.any():
+            continue
+        direction = np.where(delta >= 1.0, 1.0, -1.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            span = positions[:, i + 1] - positions[:, i - 1]
+            upper = (positions[:, i] - positions[:, i - 1] + direction) * (
+                (heights[:, i + 1] - heights[:, i]) / (positions[:, i + 1] - positions[:, i])
+            )
+            lower = (positions[:, i + 1] - positions[:, i] - direction) * (
+                (heights[:, i] - heights[:, i - 1]) / (positions[:, i] - positions[:, i - 1])
+            )
+            candidate = heights[:, i] + direction / span * (upper + lower)
+            parabolic_ok = (heights[:, i - 1] < candidate) & (candidate < heights[:, i + 1])
+            neighbour_h = np.where(direction > 0, heights[:, i + 1], heights[:, i - 1])
+            neighbour_p = np.where(direction > 0, positions[:, i + 1], positions[:, i - 1])
+            linear = heights[:, i] + direction * (neighbour_h - heights[:, i]) / (
+                neighbour_p - positions[:, i]
+            )
+        adjusted = np.where(parabolic_ok, candidate, linear)
+        heights[move, i] = adjusted[move]
+        positions[move, i] += direction[move]
+
+
 class BatchPSquare:
     """``n_streams`` P-square estimators advanced in lockstep.
 
@@ -524,9 +571,26 @@ class BatchPSquare:
     All streams must advance together (every update supplies one value
     per stream), which is exactly the cost-matrix access pattern — each
     monitoring sample yields one joint utilization per pair.
+
+    Streams may *join* at different times: :meth:`remap_streams` grows,
+    shrinks or reorders the stream set, seeding fresh streams with empty
+    warm-up state.  Until every stream has seen the same number of
+    samples the estimator tracks per-stream counts internally; uniform
+    populations keep the original single-counter fast path (and the
+    original snapshot layout) bit-for-bit.
     """
 
-    __slots__ = ("_q", "_n", "_initial", "_heights", "_positions", "_desired", "_increments", "_count")
+    __slots__ = (
+        "_q",
+        "_n",
+        "_initial",
+        "_heights",
+        "_positions",
+        "_desired",
+        "_increments",
+        "_count",
+        "_counts",
+    )
 
     def __init__(self, q: float, n_streams: int) -> None:
         if not 0.0 < q < 100.0:
@@ -539,15 +603,21 @@ class BatchPSquare:
         self._q = q
         self._n = n_streams
         p = q / 100.0
-        self._initial = np.empty((n_streams, 5), dtype=float)
-        self._heights = np.empty((n_streams, 5), dtype=float)
-        self._positions = np.empty((n_streams, 5), dtype=float)
+        # Zero-filled (not np.empty): unwritten warm-up slots are never
+        # *read*, but they are serialized, and snapshots of a half-warm
+        # estimator must be byte-deterministic.
+        self._initial = np.zeros((n_streams, 5), dtype=float)
+        self._heights = np.zeros((n_streams, 5), dtype=float)
+        self._positions = np.zeros((n_streams, 5), dtype=float)
         self._desired = np.tile(
             np.array([1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]),
             (n_streams, 1),
         )
         self._increments = np.array([0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0])
         self._count = 0
+        #: Per-stream sample counts, or ``None`` while every stream has
+        #: seen exactly ``_count`` samples (the uniform fast path).
+        self._counts: np.ndarray | None = None
 
     @property
     def q(self) -> float:
@@ -561,64 +631,68 @@ class BatchPSquare:
 
     @property
     def count(self) -> int:
-        """Number of samples folded into every stream so far."""
+        """Samples folded into every stream (the minimum across streams)."""
         return self._count
+
+    def stream_counts(self) -> np.ndarray:
+        """Per-stream sample counts as an ``(n_streams,)`` int array."""
+        if self._counts is None:
+            return np.full(self._n, self._count, dtype=np.intp)
+        return self._counts.copy()
 
     def update(self, values: Sequence[float] | np.ndarray) -> None:
         """Fold one value per stream into the estimates."""
         data = np.asarray(values, dtype=float)
         if data.shape != (self._n,):
             raise ValueError(f"expected {self._n} values, got shape {data.shape}")
-        if self._count < 5:
-            self._initial[:, self._count] = data
+        if self._counts is None:
+            if self._count < 5:
+                self._initial[:, self._count] = data
+                self._count += 1
+                if self._count == 5:
+                    self._heights = np.sort(self._initial, axis=1)
+                    self._positions = np.tile(np.arange(1.0, 6.0), (self._n, 1))
+                return
+            self._absorb(data)
             self._count += 1
-            if self._count == 5:
-                self._heights = np.sort(self._initial, axis=1)
-                self._positions = np.tile(np.arange(1.0, 6.0), (self._n, 1))
             return
-        self._absorb(data)
-        self._count += 1
+        counts = self._counts
+        warm = counts < 5
+        if warm.any():
+            rows = np.flatnonzero(warm)
+            self._initial[rows, counts[rows]] = data[rows]
+            mature = np.flatnonzero(~warm)
+            if mature.size:
+                self._absorb_rows(data, mature)
+            counts += 1
+            seeded = rows[counts[rows] == 5]
+            if seeded.size:
+                self._heights[seeded] = np.sort(self._initial[seeded], axis=1)
+                self._positions[seeded] = np.arange(1.0, 6.0)
+        else:
+            self._absorb(data)
+            counts += 1
+        self._count = int(counts.min())
+        if self._count == int(counts.max()):
+            self._counts = None
 
     def _absorb(self, values: np.ndarray) -> None:
-        heights = self._heights
-        positions = self._positions
-        low = values < heights[:, 0]
-        high = values >= heights[:, 4]
-        heights[low, 0] = values[low]
-        heights[high, 4] = values[high]
-        # The scalar walk `while cell < 3 and value >= heights[cell + 1]`
-        # counts how many of the middle markers the value clears.
-        cell = (values[:, None] >= heights[:, 1:4]).sum(axis=1)
-        cell[low] = 0
-        cell[high] = 3
-        positions += np.arange(5) > cell[:, None]
-        self._desired += self._increments
-        for i in (1, 2, 3):
-            delta = self._desired[:, i] - positions[:, i]
-            step_up = positions[:, i + 1] - positions[:, i]
-            step_down = positions[:, i - 1] - positions[:, i]
-            move = ((delta >= 1.0) & (step_up > 1.0)) | ((delta <= -1.0) & (step_down < -1.0))
-            if not move.any():
-                continue
-            direction = np.where(delta >= 1.0, 1.0, -1.0)
-            with np.errstate(divide="ignore", invalid="ignore"):
-                span = positions[:, i + 1] - positions[:, i - 1]
-                upper = (positions[:, i] - positions[:, i - 1] + direction) * (
-                    (heights[:, i + 1] - heights[:, i]) / (positions[:, i + 1] - positions[:, i])
-                )
-                lower = (positions[:, i + 1] - positions[:, i] - direction) * (
-                    (heights[:, i] - heights[:, i - 1]) / (positions[:, i] - positions[:, i - 1])
-                )
-                candidate = heights[:, i] + direction / span * (upper + lower)
-                parabolic_ok = (heights[:, i - 1] < candidate) & (candidate < heights[:, i + 1])
-                neighbour_h = np.where(direction > 0, heights[:, i + 1], heights[:, i - 1])
-                neighbour_p = np.where(direction > 0, positions[:, i + 1], positions[:, i - 1])
-                linear = heights[:, i] + direction * (neighbour_h - heights[:, i]) / (
-                    neighbour_p - positions[:, i]
-                )
-            adjusted = np.where(parabolic_ok, candidate, linear)
-            heights[move, i] = adjusted[move]
-            positions[move, i] += direction[move]
+        _absorb_markers(values, self._heights, self._positions, self._desired, self._increments)
+
+    def _absorb_rows(self, values: np.ndarray, rows: np.ndarray) -> None:
+        """Run one absorb step on a subset of streams only.
+
+        The marker update is row-independent, so running it on gathered
+        copies and scattering the results back is value-identical to the
+        full-width :meth:`_absorb` restricted to ``rows``.
+        """
+        heights = self._heights[rows]
+        positions = self._positions[rows]
+        desired = self._desired[rows]
+        _absorb_markers(values[rows], heights, positions, desired, self._increments)
+        self._heights[rows] = heights
+        self._positions[rows] = positions
+        self._desired[rows] = desired
 
     def extend(self, rows: Iterable[Sequence[float]]) -> None:
         """Fold an iterable of per-stream value vectors in."""
@@ -641,9 +715,17 @@ class BatchPSquare:
         while self._count < 5 and start < data.shape[0]:
             self.update(data[start])
             start += 1
-        for row in data[start:]:
-            self._absorb(row)
-            self._count += 1
+        if self._counts is None:
+            for row in data[start:]:
+                self._absorb(row)
+                self._count += 1
+        else:
+            # Heterogeneous counts with every stream mature: bulk path
+            # plus per-stream count bookkeeping.
+            for row in data[start:]:
+                self._absorb(row)
+                self._counts += 1
+                self._count += 1
 
     def snapshot(self) -> dict:
         """Serializable copy of the full marker state.
@@ -651,8 +733,12 @@ class BatchPSquare:
         The returned dict contains only plain floats/ints and fresh
         ndarray copies, so it pickles cleanly and survives mutation of
         the live estimator.  Feed it back through :meth:`restore`.
+
+        A ``"counts"`` key is present only while per-stream counts are
+        heterogeneous, so snapshots of uniform populations keep the
+        pre-membership layout byte-for-byte.
         """
-        return {
+        state = {
             "q": self._q,
             "n_streams": self._n,
             "count": self._count,
@@ -661,6 +747,9 @@ class BatchPSquare:
             "positions": self._positions.copy(),
             "desired": self._desired.copy(),
         }
+        if self._counts is not None:
+            state["counts"] = self._counts.copy()
+        return state
 
     def restore(self, state: Mapping) -> None:
         """Reinstall a :meth:`snapshot`, validating it first.
@@ -682,12 +771,36 @@ class BatchPSquare:
         shape = (self._n, 5)
         arrays = {}
         for key in ("initial", "heights", "positions", "desired"):
-            array = np.array(state[key], dtype=float)
+            array = np.ascontiguousarray(state[key], dtype=float)
             if array.shape != shape:
                 raise ValueError(f"snapshot {key!r} must have shape {shape}")
+            if array is state.get(key):
+                array = array.copy()
             arrays[key] = array
-        validate_p2_markers(arrays["heights"], arrays["positions"], count)
+        counts_state = state.get("counts")
+        if counts_state is None:
+            counts = None
+            validate_p2_markers(arrays["heights"], arrays["positions"], count)
+        else:
+            counts = np.ascontiguousarray(counts_state, dtype=np.intp)
+            if counts.shape != (self._n,):
+                raise ValueError(f"snapshot 'counts' must have shape ({self._n},)")
+            if counts is counts_state:
+                counts = counts.copy()
+            if (counts < 0).any():
+                raise ValueError("snapshot per-stream counts must be non-negative")
+            if int(counts.min()) != count:
+                raise ValueError("snapshot count must equal the minimum per-stream count")
+            if int(counts.max()) == count:
+                counts = None
+            else:
+                mature = np.flatnonzero(counts >= 5)
+                if mature.size:
+                    validate_p2_markers(
+                        arrays["heights"][mature], arrays["positions"][mature], 5
+                    )
         self._count = count
+        self._counts = counts
         self._initial = arrays["initial"]
         self._heights = arrays["heights"]
         self._positions = arrays["positions"]
@@ -702,6 +815,11 @@ class BatchPSquare:
         several estimators into :func:`fold_marker_states` to estimate
         the percentile of the concatenated streams.
         """
+        if self._counts is not None:
+            raise ValueError(
+                "marker_state requires uniform per-stream counts; streams added "
+                "through remap_streams must catch up before marker folding"
+            )
         if self._count == 0:
             raise ValueError("BatchPSquare has seen no samples")
         if self._count <= 5:
@@ -719,24 +837,83 @@ class BatchPSquare:
         Exact through the fifth sample inclusive, mirroring
         :attr:`PSquarePercentile.value` — the freshly seeded markers
         would report the raw median regardless of ``q``.
+
+        Under heterogeneous counts the estimate is per-stream: exact
+        from the warm-up buffer while a stream's own count is ≤ 5, the
+        live markers afterwards, and ``NaN`` for streams with no samples
+        yet (a stream freshly added by :meth:`remap_streams`).
         """
+        if self._counts is not None:
+            counts = self._counts
+            out = np.empty(self._n, dtype=float)
+            mature = counts > 5
+            out[mature] = self._heights[mature, 2]
+            for c in np.unique(counts[~mature]):
+                sel = (counts == int(c)) & ~mature
+                if c == 0:
+                    out[sel] = np.nan
+                else:
+                    out[sel] = np.percentile(self._initial[sel, : int(c)], self._q, axis=1)
+            return out
         if self._count == 0:
             raise ValueError("BatchPSquare has seen no samples")
         if self._count <= 5:
             return np.percentile(self._initial[:, : self._count], self._q, axis=1)
         return self._heights[:, 2].copy()
 
+    def remap_streams(self, mapping: Sequence[int] | np.ndarray) -> None:
+        """Grow, shrink or reorder the stream set in place.
+
+        ``mapping[k]`` is the current stream index that becomes new
+        stream ``k``, or ``-1`` to seed a *fresh* stream (no samples
+        yet).  Surviving streams carry their warm-up buffers, markers
+        and per-stream counts over untouched; fresh streams start from
+        the same state a new estimator would give them, so the next
+        updates warm them up exactly like a scalar
+        :class:`PSquarePercentile` seeing its first samples.
+        """
+        m = np.asarray(mapping, dtype=np.intp)
+        if m.ndim != 1:
+            raise ValueError(f"mapping must be one-dimensional, got shape {m.shape}")
+        if m.shape[0] < 1:
+            raise ValueError("need at least one stream")
+        if m.size and (int(m.max()) >= self._n or int(m.min()) < -1):
+            raise ValueError(
+                f"mapping entries must be -1 or valid stream indices below {self._n}"
+            )
+        fresh = m < 0
+        src = np.where(fresh, 0, m)
+        initial = self._initial[src]
+        heights = self._heights[src]
+        positions = self._positions[src]
+        desired = self._desired[src]
+        counts = self.stream_counts()[src]
+        initial[fresh] = 0.0
+        heights[fresh] = 0.0
+        positions[fresh] = 0.0
+        p = self._q / 100.0
+        desired[fresh] = np.array([1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0])
+        counts[fresh] = 0
+        self._n = int(m.shape[0])
+        self._initial = initial
+        self._heights = heights
+        self._positions = positions
+        self._desired = desired
+        self._count = int(counts.min())
+        self._counts = None if self._count == int(counts.max()) else counts
+
     def reset(self) -> None:
         """Forget all observed samples in every stream."""
         p = self._q / 100.0
-        self._initial = np.empty((self._n, 5), dtype=float)
-        self._heights = np.empty((self._n, 5), dtype=float)
-        self._positions = np.empty((self._n, 5), dtype=float)
+        self._initial = np.zeros((self._n, 5), dtype=float)
+        self._heights = np.zeros((self._n, 5), dtype=float)
+        self._positions = np.zeros((self._n, 5), dtype=float)
         self._desired = np.tile(
             np.array([1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]),
             (self._n, 1),
         )
         self._count = 0
+        self._counts = None
 
 
 class RunningPercentile:

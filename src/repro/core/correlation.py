@@ -355,8 +355,6 @@ class StreamingCostMatrix:
         names = tuple(names)
         if len(set(names)) != len(names):
             raise ValueError("VM names must be unique")
-        if not names:
-            raise ValueError("need at least one VM")
         self._names = names
         self._spec = spec or ReferenceSpec()
         self._index = _build_index(names)
@@ -371,7 +369,7 @@ class StreamingCostMatrix:
             q = self._spec.percentile
             self._single_peak = None
             self._pair_peak = None
-            self._single_est = BatchPSquare(q, n)
+            self._single_est = BatchPSquare(q, n) if n > 0 else None
             self._pair_est = BatchPSquare(q, len(self._rows)) if n > 1 else None
         self._count = 0
         self._cache_count = -1
@@ -426,7 +424,8 @@ class StreamingCostMatrix:
                 self._pair_peak, values[:, None] + values[None, :], out=self._pair_peak
             )
         else:
-            self._single_est.update(values)
+            if self._single_est is not None:
+                self._single_est.update(values)
             if self._pair_est is not None:
                 self._pair_est.update(values[self._rows] + values[self._cols])
         self._count += 1
@@ -470,7 +469,8 @@ class StreamingCostMatrix:
                 )
                 start = stop
         else:
-            self._single_est.fold_window(data.T)
+            if self._single_est is not None:
+                self._single_est.fold_window(data.T)
             if self._pair_est is not None:
                 # Blocked over samples: the pair-sum scratch for a whole
                 # window is (N(N-1)/2, W) — ~1 GB at N=1000 / W=240 —
@@ -481,6 +481,104 @@ class StreamingCostMatrix:
                     chunk = data[:, start : start + step]
                     self._pair_est.fold_window((chunk[self._rows] + chunk[self._cols]).T)
         self._count += samples
+
+    def add_vms(self, names: Sequence[str]) -> None:
+        """Grow the matrix with new VMs, appended in positional order.
+
+        Surviving entries are untouched: peak state for existing VMs and
+        pairs is carried over bit-for-bit, and new rows/pairs start from
+        the same empty state a fresh matrix would give them (``-inf``
+        peaks; fresh P² warm-up buffers in percentile mode, seeded only
+        for the *new* pairs).  Costs and references involving a VM added
+        after the last :meth:`update`/:meth:`fold_window` are undefined
+        (``-inf``/``NaN``) until the next fold supplies samples for it.
+        """
+        added = tuple(names)
+        if not added:
+            return
+        if len(set(added)) != len(added):
+            raise ValueError("VM names must be unique")
+        present = [name for name in added if name in self._index]
+        if present:
+            raise ValueError(f"VMs already in the cost matrix: {present!r}")
+        old_n = len(self._names)
+        mapping = np.concatenate(
+            [
+                np.arange(old_n, dtype=np.intp),
+                np.full(len(added), -1, dtype=np.intp),
+            ]
+        )
+        self._remap(self._names + added, mapping)
+
+    def remove_vms(self, names: Sequence[str]) -> None:
+        """Shrink the matrix, dropping the given VMs.
+
+        Surviving VMs keep their relative positional order and their
+        full streaming state (peaks or P² markers) untouched; only the
+        departed rows, columns and pairs are discarded.
+        """
+        removed = tuple(names)
+        if not removed:
+            return
+        unknown = [name for name in removed if name not in self._index]
+        if unknown:
+            raise KeyError(f"no VMs named {unknown!r} in the cost matrix")
+        removed_set = set(removed)
+        keep = np.asarray(
+            [i for i, name in enumerate(self._names) if name not in removed_set],
+            dtype=np.intp,
+        )
+        self._remap(tuple(self._names[i] for i in keep), keep)
+
+    def _remap(self, new_names: tuple[str, ...], mapping: np.ndarray) -> None:
+        """Rebuild positional state under ``mapping[new] = old | -1``.
+
+        ``-1`` marks a fresh (just-added) VM.  All caches are dropped;
+        the matrix-level sample count is *not* reset — it is the update
+        clock shared by the surviving streams.
+        """
+        old_n = len(self._names)
+        m = len(new_names)
+        self._names = new_names
+        self._index = _build_index(new_names)
+        self._rows, self._cols = np.triu_indices(m, k=1)
+        surviving = np.flatnonzero(mapping >= 0)
+        old_idx = mapping[surviving]
+        if self._spec.is_peak:
+            single = np.full(m, -np.inf)
+            single[surviving] = self._single_peak[old_idx]
+            pair = np.full((m, m), -np.inf)
+            pair[np.ix_(surviving, surviving)] = self._pair_peak[np.ix_(old_idx, old_idx)]
+            self._single_peak = single
+            self._pair_peak = pair
+        else:
+            q = self._spec.percentile
+            if m == 0:
+                self._single_est = None
+                self._pair_est = None
+            else:
+                if self._single_est is None:
+                    self._single_est = BatchPSquare(q, m)
+                else:
+                    self._single_est.remap_streams(mapping)
+                if m < 2:
+                    self._pair_est = None
+                elif self._pair_est is None:
+                    # No surviving pairs exist (the old matrix had < 2
+                    # VMs), so every pair stream starts fresh.
+                    self._pair_est = BatchPSquare(q, self._rows.size)
+                else:
+                    a = mapping[self._rows]
+                    b = mapping[self._cols]
+                    lo = np.minimum(a, b)
+                    hi = np.maximum(a, b)
+                    # Condensed upper-triangle index in the *old* layout.
+                    pair_map = lo * old_n - lo * (lo + 1) // 2 + (hi - lo - 1)
+                    pair_map[(a < 0) | (b < 0)] = -1
+                    self._pair_est.remap_streams(pair_map)
+        self._cache_count = -1
+        self._single_cache = None
+        self._pair_cache = None
 
     def to_cost_matrix(self) -> CostMatrix:
         """Freeze the current estimates into an immutable :class:`CostMatrix`.
@@ -503,7 +601,11 @@ class StreamingCostMatrix:
         """
         if self._cache_count == self._count:
             return
-        self._single_cache = self._single_est.values
+        self._single_cache = (
+            self._single_est.values
+            if self._single_est is not None
+            else np.zeros(0, dtype=float)
+        )
         self._pair_cache = self._pair_est.values if self._pair_est is not None else None
         self._cache_count = self._count
 
@@ -562,6 +664,8 @@ class StreamingCostMatrix:
     def as_array(self) -> np.ndarray:
         """Materialise the current estimates as a symmetric array."""
         n = len(self._names)
+        if n == 0:
+            return np.zeros((0, 0), dtype=float)
         if n == 1:
             return np.full((1, 1), NEUTRAL_COST, dtype=float)
         if self._count == 0:
@@ -576,7 +680,8 @@ class StreamingCostMatrix:
             self._single_peak.fill(-np.inf)
             self._pair_peak.fill(-np.inf)
         else:
-            self._single_est.reset()
+            if self._single_est is not None:
+                self._single_est.reset()
             if self._pair_est is not None:
                 self._pair_est.reset()
         self._count = 0
@@ -618,7 +723,8 @@ class StreamingCostMatrix:
                     raise ValueError(f"snapshot {key!r} must have shape {target.shape}")
                 target[...] = array
         else:
-            self._single_est.restore(state["single_est"])
+            if self._single_est is not None:
+                self._single_est.restore(state["single_est"])
             if self._pair_est is not None:
                 self._pair_est.restore(state["pair_est"])
         self._count = count
@@ -812,6 +918,86 @@ class RollingCostHorizon:
         joined.flags.writeable = False
         return TraceSet.from_matrix(joined, window.names, window.period_s)
 
+    def apply_membership(
+        self, added: Sequence[str] = (), removed: Sequence[str] = ()
+    ) -> None:
+        """Adjust the cached horizon to a membership delta in place.
+
+        The next window is expected to carry the surviving VMs in their
+        current relative order with arrivals appended at the end; this
+        method rewrites the cached per-window state to that layout so
+        the horizon *folds* across the membership change instead of
+        restarting from scratch:
+
+        * **Peak parts**: exact for both directions.  Departed rows and
+          columns are dropped; arrivals are seeded at ``-inf``, which
+          is the identity of the element-wise-max fold, so a newcomer
+          simply contributes nothing before its first window.
+        * **Percentile state (exact ring / p2 markers)**: removals
+          shrink the cached samples/markers exactly (percentile of a
+          row subset is unaffected by dropped rows).  Arrivals restart
+          the percentile horizon: a percentile over the horizon needs
+          the newcomer's samples across *all* cached windows, and those
+          samples do not exist — unlike peaks, there is no fold
+          identity that makes the missing history harmless.
+
+        If the next pushed window carries a different name tuple than
+        the one this delta predicts, the existing population-change
+        guard in :meth:`push` restarts the horizon — correctness never
+        depends on the caller honoring the layout convention.
+        """
+        added = tuple(added)
+        removed_set = set(removed)
+        if self._names is None or (not added and not removed_set):
+            return
+        # Unknown removals are harmless no-ops (a VM admitted and
+        # retired between pushes never entered the cached state).
+        removed_set.intersection_update(self._names)
+        if not added and not removed_set:
+            return
+        collide = [name for name in added if name in self._names and name not in removed_set]
+        if collide:
+            raise ValueError(f"VMs already in the horizon: {collide!r}")
+        keep = np.asarray(
+            [i for i, name in enumerate(self._names) if name not in removed_set],
+            dtype=np.intp,
+        )
+        survivors = tuple(self._names[i] for i in keep)
+        new_names = survivors + added
+        if not new_names:
+            self.reset()
+            return
+        old_n = len(self._names)
+        m = len(new_names)
+        if self._spec.is_peak:
+            parts = []
+            for refs, joint in self._parts:
+                refs2 = np.full(m, -np.inf)
+                refs2[: keep.size] = refs[keep]
+                joint2 = np.full((m, m), -np.inf)
+                joint2[: keep.size, : keep.size] = joint[np.ix_(keep, keep)]
+                parts.append((refs2, joint2))
+            self._parts = parts
+        elif self._mode == "p2":
+            if added:
+                self._marker_parts.clear()
+            elif keep.size != old_n:
+                new_rows, new_cols = np.triu_indices(m, k=1)
+                lo = keep[new_rows]
+                hi = keep[new_cols]
+                pair_map = lo * old_n - lo * (lo + 1) // 2 + (hi - lo - 1)
+                self._marker_parts = [
+                    (single[keep], pair[pair_map], count)
+                    for single, pair, count in self._marker_parts
+                ]
+        else:
+            if added:
+                self._buffer = None
+                self._filled = 0
+            elif self._buffer is not None and keep.size != old_n:
+                self._buffer = np.ascontiguousarray(self._buffer[keep])
+        self._names = new_names
+
     def reset(self) -> None:
         """Drop all cached windows and parts (fresh replay)."""
         self._names = None
@@ -849,17 +1035,21 @@ class RollingCostHorizon:
         filled = int(state["filled"])
         if filled < 0:
             raise ValueError("snapshot filled count must be non-negative")
+        # Every array is copied AND dtype/layout-normalized: a restored
+        # horizon must re-snapshot to the same bytes as a never-restored
+        # twin even when the snapshot crossed a serializer that widened
+        # or narrowed dtypes (the sharded-restore bug of the same shape).
         self._names = None if state["names"] is None else tuple(state["names"])
         self._parts = [
-            (np.array(refs, dtype=float), np.array(joint))
+            (np.array(refs, dtype=float), np.array(joint, dtype=float))
             for refs, joint in state["parts"]
         ]
         self._marker_parts = [
-            (np.array(single), np.array(pair), int(count))
+            (np.array(single, dtype=float), np.array(pair, dtype=np.float32), int(count))
             for single, pair, count in state["marker_parts"]
         ]
         self._buffer = (
-            None if state["buffer"] is None else np.array(state["buffer"])
+            None if state["buffer"] is None else np.array(state["buffer"], dtype=float)
         )
         self._filled = filled
 

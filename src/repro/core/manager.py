@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 
 from repro.core.allocation import AllocationConfig, CorrelationAwareAllocator
 from repro.core.correlation import CostMatrix, RollingCostHorizon
@@ -144,6 +144,11 @@ class PowerManager:
         self._horizon = RollingCostHorizon(
             config.reference, config.horizon_periods, config.horizon_mode
         )
+        # Ordered registry of VMs admitted through the membership API
+        # (dict keys as an ordered set).  Populations driven purely
+        # through decide() never populate it, which keeps the legacy
+        # snapshot layout byte-identical.
+        self._members: dict[str, None] = {}
 
     @property
     def config(self) -> ManagerConfig:
@@ -154,6 +159,63 @@ class PowerManager:
     def history(self) -> Mapping[str, tuple[float, ...]]:
         """Per-VM observed reference history (oldest first)."""
         return {vm: tuple(values) for vm, values in self._history.items()}
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        """VMs admitted through the membership API, in admission order."""
+        return tuple(self._members)
+
+    def admit(self, vm_ids: Sequence[str] | str) -> None:
+        """Register arriving VMs with every stateful layer.
+
+        On a fresh manager this is pure bookkeeping (all layer caches
+        are empty), so a static population driven through
+        ``admit()``-then-:meth:`decide` is bit-identical to the batch
+        path.  Mid-stream, each layer invalidates exactly what the
+        arrival touches: the exact allocator keeps its reindex cache
+        (the longer canonical order misses the key on its own), the
+        sharded tier invalidates only the shards the plan maps the
+        arrivals to, and the rolling horizon extends its cached parts
+        so history for surviving VMs keeps folding.
+
+        Admitted VMs are expected to appear in subsequent
+        :meth:`decide` windows as survivors (current relative order)
+        followed by arrivals in admission order.
+        """
+        ids = (vm_ids,) if isinstance(vm_ids, str) else tuple(vm_ids)
+        if not ids:
+            return
+        if len(set(ids)) != len(ids):
+            raise ValueError("VM ids must be unique")
+        present = [vm for vm in ids if vm in self._members or vm in self._history]
+        if present:
+            raise ValueError(f"VMs already admitted: {present!r}")
+        for vm in ids:
+            self._members[vm] = None
+        self._allocator.apply_membership(added=ids)
+        self._horizon.apply_membership(added=ids)
+
+    def retire(self, vm_ids: Sequence[str] | str) -> None:
+        """Unregister departing VMs from every stateful layer.
+
+        Drops the departed VMs' prediction histories and hands the
+        delta to the allocator and horizon so only the state the
+        departure touches is invalidated (sibling shards and surviving
+        horizon windows stay warm).
+        """
+        ids = (vm_ids,) if isinstance(vm_ids, str) else tuple(vm_ids)
+        if not ids:
+            return
+        if len(set(ids)) != len(ids):
+            raise ValueError("VM ids must be unique")
+        unknown = [vm for vm in ids if vm not in self._members and vm not in self._history]
+        if unknown:
+            raise KeyError(f"VMs never admitted or observed: {unknown!r}")
+        for vm in ids:
+            self._members.pop(vm, None)
+            self._history.pop(vm, None)
+        self._allocator.apply_membership(removed=ids)
+        self._horizon.apply_membership(removed=ids)
 
     def observe(self, window: TraceSet) -> dict[str, float]:
         """UPDATE, part 1: fold an observed window into the histories.
@@ -285,17 +347,24 @@ class PowerManager:
         reads across periods.  The (stateless) predictor and the frozen
         config are reconstructed, not serialized.
         """
-        return {
+        state = {
             "history": {vm: list(values) for vm, values in self._history.items()},
             "allocator": self._allocator.snapshot(),
             "horizon": self._horizon.snapshot(),
         }
+        # Only serialized when the membership API is in use, so
+        # batch-driven managers keep the legacy snapshot layout (and
+        # their checkpoints) byte-identical.
+        if self._members:
+            state["members"] = list(self._members)
+        return state
 
     def restore(self, state: dict) -> None:
         """Reinstall a :meth:`snapshot` taken from an identical config."""
         self._history = {vm: list(values) for vm, values in state["history"].items()}
         self._allocator.restore(state["allocator"])
         self._horizon.restore(state["horizon"])
+        self._members = dict.fromkeys(state.get("members", ()))
 
     def reset(self) -> None:
         """Drop all accumulated history (fresh deployment).
@@ -306,5 +375,6 @@ class PowerManager:
         population's O(N²) snapshot in memory.
         """
         self._history.clear()
+        self._members.clear()
         self._allocator.reset_cache()
         self._horizon.reset()

@@ -769,6 +769,47 @@ class ShardedAllocator:
         self._plan = None
         self._population = None
 
+    def apply_membership(
+        self, added: Sequence[str] = (), removed: Sequence[str] = ()
+    ) -> None:
+        """Adjust cross-period state to a membership delta.
+
+        Only the shards a delta actually touches are invalidated: the
+        reindex caches of shards holding a departed or (per the current
+        plan) newly-labeled VM are dropped, while sibling shards whose
+        member sets the delta never reaches keep their warm caches.
+        Shards whose membership *shifts* under the next plan are safe
+        either way — per-shard caches are keyed by their exact member
+        order and self-invalidate on mismatch.
+
+        The expected population is updated so the next
+        :meth:`allocate`'s population-change guard recognises the new
+        name set as *this* delta rather than a wholesale swap (which
+        would reset every sibling shard).  Population changes that
+        arrive without a preceding ``apply_membership`` still take the
+        legacy full-reset path.
+        """
+        added = tuple(added)
+        removed_set = set(removed)
+        if self._population is None or (not added and not removed_set):
+            return
+        current = set(self._population)
+        # Unknown removals are harmless no-ops (a VM admitted and
+        # retired between allocations never entered the population).
+        removed_set.intersection_update(current)
+        if not added and not removed_set:
+            return
+        collide = [vm for vm in added if vm in current and vm not in removed_set]
+        if collide:
+            raise ValueError(f"VMs already in the population: {collide!r}")
+        survivors = current.difference(removed_set)
+        new_population = survivors.union(added)
+        if not new_population:
+            self.reset_cache()
+            return
+        self._invalidate_shards(removed_set.union(added))
+        self._population = tuple(sorted(new_population))
+
     def _shard_allocator(self, shard: int) -> CorrelationAwareAllocator:
         allocator = self._allocators.get(shard)
         if allocator is None:

@@ -15,6 +15,7 @@ from repro.sim.approaches import (
     PcpApproach,
     ProposedApproach,
 )
+from repro.sim.churn import ChurnEngine, ChurnEvent, ChurnRecord, synthesize_churn_events
 from repro.sim.deployment import DeploymentDelta, apply_decision
 from repro.sim.checkpoint import CheckpointError, CheckpointPolicy
 from repro.sim.engine import ReplayConfig, replay
@@ -35,6 +36,10 @@ __all__ = [
     "replay",
     "CheckpointPolicy",
     "CheckpointError",
+    "ChurnEngine",
+    "ChurnEvent",
+    "ChurnRecord",
+    "synthesize_churn_events",
     "AuditEvent",
     "AuditError",
     "ReplayResult",

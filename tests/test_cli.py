@@ -75,6 +75,53 @@ class TestResilienceFlags:
         with pytest.raises(SystemExit, match="--journal"):
             main(["run", "fig1", "--journal", "sweep.jsonl"])
 
+    def test_serve_flag_combinations_fail_one_line(self):
+        """Non-composing serve flags die with a clear one-line error."""
+        with pytest.raises(SystemExit, match="--journal is a 'run' flag"):
+            main(["serve", "--journal", "sweep.jsonl"])
+        with pytest.raises(SystemExit, match="--resume requires --checkpoint-dir"):
+            main(["serve", "--resume"])
+        with pytest.raises(SystemExit, match="--checkpoint-every requires"):
+            main(["serve", "--checkpoint-every", "5"])
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["serve", "--events", "feed.jsonl", "--stdin"])
+        with pytest.raises(SystemExit, match="--periods must be positive"):
+            main(["serve", "--periods", "0"])
+
+    def test_serve_runs_synthesized_feed(self, capsys):
+        assert main(["serve", "--num-vms", "12", "--periods", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "period " in out
+        assert "p99" in out
+
+    def test_serve_scripted_feed_and_resume(self, tmp_path, capsys):
+        feed = tmp_path / "events.csv"
+        feed.write_text("0,arrive,vm00\n0,arrive,vm01\n7201,depart,vm00\n")
+        ckpt = tmp_path / "ck"
+        argv = [
+            "serve", "--events", str(feed), "--num-vms", "10",
+            "--periods", "4", "--checkpoint-dir", str(ckpt),
+            "--checkpoint-every", "2",
+        ]
+        assert main(argv) == 0
+        assert any(ckpt.glob("*.ckpt"))
+        capsys.readouterr()
+        assert main([*argv, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed at period 4" in out
+
+    def test_serve_bad_event_line_is_clear(self, tmp_path):
+        feed = tmp_path / "events.csv"
+        feed.write_text("not-an-event\n")
+        with pytest.raises(SystemExit, match="bad event on line 1"):
+            main(["serve", "--events", str(feed), "--num-vms", "10"])
+
+    def test_serve_unknown_vm_is_clear(self, tmp_path):
+        feed = tmp_path / "events.csv"
+        feed.write_text("0,arrive,ghost\n")
+        with pytest.raises(SystemExit, match="absent from the"):
+            main(["serve", "--events", str(feed), "--num-vms", "10"])
+
     def test_availability_fast_with_checkpoints(self, tmp_path, capsys):
         assert (
             main(

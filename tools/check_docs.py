@@ -145,6 +145,10 @@ def check_bench_table(errors: list[str]) -> None:
             sharded["sharded_ms"],
             sharded["exact_ms"],
         ],
+        "sustained churn decide": [
+            bench["churn"]["p50_ms"],
+            bench["churn"]["p99_ms"],
+        ],
     }
     for label, values in expected.items():
         quoted = _row_numbers(readme, label)

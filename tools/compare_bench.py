@@ -54,6 +54,7 @@ GATED_ENTRIES: tuple[tuple[str, str, str], ...] = (
     ("replay_checkpoint", "checkpoint_vs_plain", "lower"),
     ("allocate_sharded", "speedup_vs_exact", "higher"),
     ("allocate_sharded", "proxy_ratio", "lower"),
+    ("churn", "p99_vs_p50", "lower"),
 )
 
 #: Wall-clock entries shown for context (never gated; box-dependent).
@@ -73,6 +74,8 @@ INFORMATIONAL_ENTRIES: tuple[tuple[str, str], ...] = (
     ("allocate_sharded", "large.wall_s"),
     ("allocate_sharded", "deep.wall_s"),
     ("allocate_sharded", "deep.peak_rss_mb"),
+    ("churn", "p99_ms"),
+    ("churn", "events_per_s"),
 )
 
 
