@@ -48,6 +48,7 @@ import numpy as np
 import pytest
 
 import repro
+from repro.experiments import slo_frontier
 from repro.core.allocation import CorrelationAwareAllocator
 from repro.core.correlation import CostMatrix, StreamingCostMatrix
 from repro.core.sharding import (
@@ -1124,4 +1125,64 @@ def test_churn_gate(report, bench_json_merge):
         f"churn p99/p50 decide ratio {ratio:.2f} exceeds "
         f"{CHURN_LATENCY_RATIO_MAX}: membership deltas are triggering "
         f"rebuild-sized spikes"
+    )
+
+
+SLO_FRONTIER_P99_VS_SLO_MAX = 2.0
+
+
+def test_slo_frontier_gate(report, bench_json_merge):
+    """Energy-vs-tail frontier: determinism, equivalence, SLO ceiling.
+
+    Runs the fast ``slo_frontier`` experiment twice — serially and over
+    a two-worker pool — and requires the two runs to be byte-identical
+    (:func:`repro.experiments.slo_frontier.frontier_fingerprint`).  The
+    whole pipeline is seeded, so the worst p99-vs-SLO ratio is a
+    *deterministic* dimensionless number: ``tools/compare_bench.py``
+    gates it against the committed trajectory, and this test caps it
+    absolutely — a placement or dispatch regression that saturates the
+    scored regions trips the ceiling on the box that runs it.
+    """
+    start = time.perf_counter()
+    serial = slo_frontier.run(fast=True)
+    frontier_ms = (time.perf_counter() - start) * 1e3
+    pooled = slo_frontier.run(fast=True, workers=2)
+    equal = slo_frontier.frontier_fingerprint(serial) == slo_frontier.frontier_fingerprint(pooled)
+
+    data = serial.data
+    frontier = data["frontier"]
+    worst = data["worst_p99_vs_slo"]
+    worst_p99_ms = max(
+        point["p99_s"] for points in frontier.values() for point in points
+    ) * 1e3
+    monotone = data["p99_monotone_in_load"]
+
+    payload = {
+        "policies": len(data["policies"]),
+        "load_points": len(data["load_points"]),
+        "slo_s": data["slo_s"],
+        "worst_p99_vs_slo": round(worst, 4),
+        "p99_ms": round(worst_p99_ms, 3),
+        "monotone_policies": sum(monotone.values()),
+        "serial_equals_parallel": 1.0 if equal else 0.0,
+        "ratio_max": SLO_FRONTIER_P99_VS_SLO_MAX,
+        "frontier_ms": round(frontier_ms, 3),
+    }
+    path = bench_json_merge("scaling", "slo_frontier", payload)
+    report(
+        f"slo_frontier: {len(data['policies'])} policies x "
+        f"{len(data['load_points'])} load points, worst p99/SLO {worst:.3f} "
+        f"(p99 {worst_p99_ms:.0f} ms vs SLO {data['slo_s'] * 1e3:.0f} ms), "
+        f"{sum(monotone.values())}/{len(monotone)} policies monotone, "
+        f"serial==pooled {equal}, wall {frontier_ms:.0f} ms"
+        f"\npersisted to {path}"
+    )
+    assert equal, "serial and workers=2 frontier runs must be byte-identical"
+    for name, points in frontier.items():
+        assert len(points) == len(data["load_points"]), name
+        assert all(point["completed"] > 0 for point in points), name
+    assert worst <= SLO_FRONTIER_P99_VS_SLO_MAX, (
+        f"worst p99/SLO ratio {worst:.3f} exceeds "
+        f"{SLO_FRONTIER_P99_VS_SLO_MAX}: the scored placements are "
+        f"saturating under the frontier's calibrated load grid"
     )

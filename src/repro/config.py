@@ -21,11 +21,13 @@ from repro.sim.engine import ReplayConfig
 from repro.sim.faults import FaultConfig
 from repro.traces.datacenter import DatacenterTraceConfig
 from repro.traces.trace import ReferenceSpec
+from repro.workloads.dispatch import DispatchConfig
 from repro.workloads.queueing import QueueingConfig
 from repro.workloads.websearch import WebSearchClusterConfig
 
 __all__ = [
     "AllocationConfig",
+    "DispatchConfig",
     "FaultConfig",
     "ManagerConfig",
     "PcpConfig",

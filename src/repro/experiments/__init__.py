@@ -17,6 +17,7 @@ from repro.experiments import (
     fig6,
     qos_sweep,
     robustness,
+    slo_frontier,
     table1,
     table2,
 )
@@ -33,6 +34,7 @@ EXPERIMENTS = {
     "qos_sweep": qos_sweep.run,
     "robustness": robustness.run,
     "availability": availability.run,
+    "slo_frontier": slo_frontier.run,
 }
 
 __all__ = ["ExperimentResult", "EXPERIMENTS"]

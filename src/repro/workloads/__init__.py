@@ -10,7 +10,14 @@ subpackage simulates that stack:
   count to per-ISN CPU demand (with the load imbalance of Fig 1/4),
 * :mod:`repro.workloads.queueing` — a fork-join processor-sharing
   discrete-event simulator producing the response-time distributions of
-  Fig 5.
+  Fig 5,
+* :mod:`repro.workloads.requests` — the request-level workload catalog
+  (open-loop Poisson, Zipf key popularity, closed-loop clients;
+  lognormal / Pareto / bimodal "ETC-style" service laws) under a
+  versioned RNG stream contract,
+* :mod:`repro.workloads.dispatch` — a pick-one-backend dispatch layer
+  (random, round-robin, join-shortest-queue) over the same
+  processor-sharing regions, scoring tail-latency SLOs.
 """
 
 from repro.workloads.clients import (
@@ -31,6 +38,23 @@ from repro.workloads.queueing import (
     Region,
     SimCluster,
 )
+from repro.workloads.requests import (
+    WORKLOAD_LAYOUTS,
+    BimodalService,
+    ClosedLoopClients,
+    LognormalService,
+    ParetoService,
+    PoissonArrivals,
+    RequestStream,
+    ServiceDistribution,
+    ZipfKeyArrivals,
+)
+from repro.workloads.dispatch import (
+    DISPATCH_POLICIES,
+    DispatchConfig,
+    DispatchResult,
+    RequestDispatchSimulator,
+)
 
 __all__ = [
     "ClientLoad",
@@ -48,4 +72,17 @@ __all__ = [
     "QueueingResult",
     "Region",
     "SimCluster",
+    "WORKLOAD_LAYOUTS",
+    "RequestStream",
+    "ServiceDistribution",
+    "LognormalService",
+    "ParetoService",
+    "BimodalService",
+    "PoissonArrivals",
+    "ZipfKeyArrivals",
+    "ClosedLoopClients",
+    "DISPATCH_POLICIES",
+    "DispatchConfig",
+    "DispatchResult",
+    "RequestDispatchSimulator",
 ]

@@ -180,10 +180,14 @@ class QueueingResult:
 
     def p90_response_s(self, cluster_id: str) -> float:
         """90th-percentile response time of one cluster (Fig 5's metric)."""
+        return self.percentile_response_s(cluster_id, 90.0)
+
+    def percentile_response_s(self, cluster_id: str, q: float) -> float:
+        """Arbitrary response-time percentile (e.g. p99/p999 for SLOs)."""
         samples = self.responses_by_cluster[cluster_id]
         if samples.size == 0:
             raise ValueError(f"cluster {cluster_id!r} completed no queries")
-        return percentile(samples, 90.0)
+        return percentile(samples, q)
 
     def mean_response_s(self, cluster_id: str) -> float:
         """Mean response time of one cluster."""

@@ -1,0 +1,301 @@
+"""Request-level workload catalog: arrival generators + service-time laws.
+
+The fork-join simulator of :mod:`repro.workloads.queueing` models the
+paper's Setup-1 web-search clusters; this module generalises its input
+side into a reusable catalog so placement policies can be scored against
+*request-level* SLOs (p99/p999 latency) and not only utilization
+violations:
+
+* **Arrival generators** — open-loop Poisson
+  (:class:`PoissonArrivals`), Zipf/nonuniform key popularity
+  (:class:`ZipfKeyArrivals`), and closed-loop clients with exponential
+  think time (:class:`ClosedLoopClients`).
+* **Service-time distributions** — the lognormal law the fork-join
+  simulator uses today (:class:`LognormalService`), a heavy-tailed
+  Pareto law (:class:`ParetoService`), and a bimodal "ETC-style"
+  mixture (:class:`BimodalService`) in which a small fraction of
+  requests is many times more expensive — the key-value-cache shape
+  that produces realistic p999 tails.
+
+All service distributions return *mean-one multipliers*: the absolute
+scale lives in ``base_demand_core_s`` (core-seconds at fmax), exactly
+like :class:`~repro.workloads.queueing.QueueingConfig`.
+
+RNG stream layouts
+------------------
+Like :mod:`repro.traces.synthesis`, the catalog's draw order is part of
+its public contract, versioned through ``workload_layout``
+(:data:`WORKLOAD_LAYOUTS`, append-only — new orderings get a new tag,
+existing tags never change meaning):
+
+* ``"v1"`` — per generator:
+
+  - :class:`PoissonArrivals`: one exponential gap draw per candidate
+    arrival, in time order, until the horizon is passed.
+  - :class:`ZipfKeyArrivals`: (1) one ``standard_normal`` block of
+    ``num_keys`` per-key cost factors, (2) sequential exponential gap
+    draws as in the Poisson generator, (3) one uniform block of
+    ``num_arrivals`` key picks (inverse-CDF via ``searchsorted``).
+  - :class:`ClosedLoopClients` draws are *event-ordered* inside
+    :class:`~repro.workloads.dispatch.RequestDispatchSimulator`: one
+    exponential block of ``num_clients`` initial think times up front,
+    then one think draw at each completion (see the simulator's
+    docstring for the full per-event order).
+  - Service distributions: :class:`LognormalService` one
+    ``standard_normal`` block per call; :class:`ParetoService` one
+    ``pareto`` block; :class:`BimodalService` one ``random`` block
+    (mode pick) followed by one ``standard_normal`` block (jitter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+__all__ = [
+    "WORKLOAD_LAYOUTS",
+    "RequestStream",
+    "ServiceDistribution",
+    "LognormalService",
+    "ParetoService",
+    "BimodalService",
+    "OpenLoopGenerator",
+    "PoissonArrivals",
+    "ZipfKeyArrivals",
+    "ClosedLoopClients",
+]
+
+#: Versioned RNG stream layouts of the workload catalog (append-only).
+WORKLOAD_LAYOUTS = ("v1",)
+
+
+def _validate_workload_layout(workload_layout: str) -> None:
+    if workload_layout not in WORKLOAD_LAYOUTS:
+        raise ValueError(
+            f"unknown workload_layout {workload_layout!r}; "
+            f"expected one of {WORKLOAD_LAYOUTS}"
+        )
+
+
+@dataclass(frozen=True)
+class RequestStream:
+    """A pre-generated open-loop request trace.
+
+    ``demand_multiplier`` carries per-request demand skew beyond the
+    service-time law (e.g. the per-key cost factors of
+    :class:`ZipfKeyArrivals`); it is mean-one in expectation so the
+    offered load stays calibrated by the arrival rate alone.  ``key`` is
+    the per-request key index for keyed generators, ``None`` otherwise.
+    """
+
+    arrival_s: np.ndarray
+    demand_multiplier: np.ndarray
+    key: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_s.shape != self.demand_multiplier.shape:
+            raise ValueError("demand_multiplier must match arrival_s")
+        if self.key is not None and self.key.shape != self.arrival_s.shape:
+            raise ValueError("key must match arrival_s")
+        if self.arrival_s.size and np.any(np.diff(self.arrival_s) < 0):
+            raise ValueError("arrival times must be non-decreasing")
+
+    @property
+    def num_requests(self) -> int:
+        return int(self.arrival_s.size)
+
+
+class ServiceDistribution(Protocol):
+    """A mean-one service-time multiplier law."""
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` multipliers (one RNG block pattern per layout)."""
+        ...
+
+
+@dataclass(frozen=True)
+class LognormalService:
+    """The fork-join simulator's law: ``exp(sigma Z - sigma^2/2)``."""
+
+    sigma: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        z = rng.standard_normal(size)
+        return np.exp(self.sigma * z - self.sigma**2 / 2.0)
+
+
+@dataclass(frozen=True)
+class ParetoService:
+    """Heavy-tailed Lomax law, normalised to mean one.
+
+    ``1 + Pareto(alpha)`` has mean ``alpha / (alpha - 1)``; the sample is
+    rescaled by its inverse.  ``alpha`` must exceed 1 for the mean to
+    exist; smaller ``alpha`` means a heavier tail (infinite variance
+    below 2).
+    """
+
+    alpha: float = 2.2
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 1.0:
+            raise ValueError("alpha must exceed 1 (finite mean)")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        body = 1.0 + rng.pareto(self.alpha, size)
+        return body * (self.alpha - 1.0) / self.alpha
+
+
+@dataclass(frozen=True)
+class BimodalService:
+    """ETC-style mixture: mostly cheap requests, a few expensive ones.
+
+    A fraction ``heavy_fraction`` of requests costs ``heavy_scale``
+    times the light mode; both modes carry lognormal jitter ``sigma``.
+    The mode means are normalised so the mixture mean is one.
+    """
+
+    heavy_scale: float = 8.0
+    heavy_fraction: float = 0.05
+    sigma: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.heavy_scale < 1.0:
+            raise ValueError("heavy_scale must be >= 1")
+        if not 0.0 <= self.heavy_fraction < 1.0:
+            raise ValueError("heavy_fraction must lie in [0, 1)")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        light = 1.0 / (1.0 - self.heavy_fraction + self.heavy_fraction * self.heavy_scale)
+        mode = rng.random(size)
+        z = rng.standard_normal(size)
+        base = np.where(mode < self.heavy_fraction, light * self.heavy_scale, light)
+        return base * np.exp(self.sigma * z - self.sigma**2 / 2.0)
+
+
+class OpenLoopGenerator(Protocol):
+    """An arrival process that can be materialised ahead of time."""
+
+    def generate(self, duration_s: float, rng: np.random.Generator) -> RequestStream:
+        """Produce the request trace for ``[0, duration_s)``."""
+        ...
+
+
+def _poisson_gaps(rate_qps: float, duration_s: float, rng: np.random.Generator) -> np.ndarray:
+    """Sequential exponential gap draws until past the horizon (v1 order)."""
+    if rate_qps == 0.0:
+        return np.empty(0)
+    times: list[float] = []
+    t = 0.0
+    mean_gap = 1.0 / rate_qps
+    while True:
+        t += rng.exponential(mean_gap)
+        if t >= duration_s:
+            break
+        times.append(t)
+    return np.asarray(times)
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Open-loop homogeneous Poisson arrivals at ``rate_qps``."""
+
+    rate_qps: float
+    workload_layout: str = "v1"
+
+    def __post_init__(self) -> None:
+        if self.rate_qps < 0:
+            raise ValueError("rate_qps must be non-negative")
+        _validate_workload_layout(self.workload_layout)
+
+    def generate(self, duration_s: float, rng: np.random.Generator) -> RequestStream:
+        arrivals = _poisson_gaps(self.rate_qps, duration_s, rng)
+        return RequestStream(arrivals, np.ones_like(arrivals))
+
+
+@dataclass(frozen=True)
+class ZipfKeyArrivals:
+    """Poisson arrivals over a Zipf-popular key space with per-key cost.
+
+    Key ``k`` (rank order) is requested with probability proportional to
+    ``1 / (k+1)**skew``; each key carries a persistent lognormal cost
+    factor (``key_sigma``).  The resulting per-request demand
+    multipliers are normalised by the popularity-weighted mean cost, so
+    the *expected* multiplier is exactly one and the offered load stays
+    calibrated by ``rate_qps`` — popularity skew shows up as burstiness
+    of expensive keys, not as a shifted mean.
+    """
+
+    rate_qps: float
+    num_keys: int = 64
+    skew: float = 1.1
+    key_sigma: float = 0.4
+    workload_layout: str = "v1"
+
+    def __post_init__(self) -> None:
+        if self.rate_qps < 0:
+            raise ValueError("rate_qps must be non-negative")
+        if self.num_keys < 1:
+            raise ValueError("num_keys must be positive")
+        if self.skew < 0:
+            raise ValueError("skew must be non-negative")
+        if self.key_sigma < 0:
+            raise ValueError("key_sigma must be non-negative")
+        _validate_workload_layout(self.workload_layout)
+
+    def popularity(self) -> np.ndarray:
+        """Zipf key-pick probabilities (rank-ordered, sums to one)."""
+        ranks = np.arange(1, self.num_keys + 1, dtype=float)
+        weights = ranks**-self.skew
+        return weights / weights.sum()
+
+    def generate(self, duration_s: float, rng: np.random.Generator) -> RequestStream:
+        # v1 draw order: key-cost block, then gaps, then key picks.
+        z = rng.standard_normal(self.num_keys)
+        cost = np.exp(self.key_sigma * z - self.key_sigma**2 / 2.0)
+        arrivals = _poisson_gaps(self.rate_qps, duration_s, rng)
+        popularity = self.popularity()
+        picks = rng.random(arrivals.size)
+        keys = np.searchsorted(np.cumsum(popularity), picks, side="right")
+        keys = np.minimum(keys, self.num_keys - 1)
+        weighted_mean = float(popularity @ cost)
+        multipliers = cost[keys] / weighted_mean
+        return RequestStream(arrivals, multipliers, key=keys)
+
+
+@dataclass(frozen=True)
+class ClosedLoopClients:
+    """A fixed population of clients cycling request -> think -> request.
+
+    Closed-loop arrivals depend on completions, so this generator cannot
+    be materialised ahead of time; it is animated by
+    :class:`~repro.workloads.dispatch.RequestDispatchSimulator`, which
+    keeps at most ``num_clients`` requests in flight and schedules each
+    client's next arrival one think time after its previous response.
+    """
+
+    num_clients: int
+    think_time_s: float = 1.0
+    workload_layout: str = "v1"
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ValueError("need at least one client")
+        if self.think_time_s < 0:
+            raise ValueError("think time must be non-negative")
+        _validate_workload_layout(self.workload_layout)
+
+    def initial_arrivals(self, rng: np.random.Generator) -> np.ndarray:
+        """Each client's first arrival: one exponential think per client."""
+        return rng.exponential(self.think_time_s, self.num_clients)
+
+    def think_s(self, rng: np.random.Generator) -> float:
+        """One post-response think time."""
+        return float(rng.exponential(self.think_time_s))

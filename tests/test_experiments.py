@@ -30,6 +30,7 @@ class TestRegistry:
             "qos_sweep",
             "robustness",
             "availability",
+            "slo_frontier",
         }
 
     def test_render_contains_sections(self):

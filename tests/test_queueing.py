@@ -166,6 +166,101 @@ class TestQueueingBehaviour:
         with pytest.raises(ValueError, match="no queries"):
             result.p90_response_s("C1")
 
+    def test_zero_client_window_pauses_arrivals(self):
+        """A zero-client window mid-trace stalls arrivals, not the sim.
+
+        ``TraceClients`` can legitimately hit zero (a tenant going
+        idle); the NHPP thinning must produce no arrivals inside that
+        window and resume cleanly after it.
+        """
+        config = QueueingConfig(duration_s=90.0, qps_per_client=0.5, seed=19)
+        load = TraceClients([40.0, 0.0, 40.0], 30.0)
+        cluster = SimCluster("C1", load, ("isn1", "isn2"), ("r1", "r1"))
+        result = ForkJoinQueueingSimulator(
+            [cluster], [Region("r1", 8)], config
+        ).run()
+        assert result.completed_queries > 0
+        stamps = result.arrival_times_by_cluster["C1"]
+        in_window = stamps[(stamps >= 30.0) & (stamps < 60.0)]
+        assert in_window.size == 0
+
+    def test_all_zero_load_completes_nothing(self):
+        config = QueueingConfig(duration_s=30.0, qps_per_client=0.5, seed=19)
+        cluster = SimCluster(
+            "C1", TraceClients([0.0], 30.0), ("isn1", "isn2"), ("r1", "r1")
+        )
+        result = ForkJoinQueueingSimulator(
+            [cluster], [Region("r1", 8)], config
+        ).run()
+        assert result.completed_queries == 0
+        assert result.dropped_queries == 0
+
+    def test_single_core_region_serializes_service(self):
+        """One core shared by a fork-join pair still conserves work."""
+        config = QueueingConfig(
+            duration_s=120.0, qps_per_client=0.05, base_demand_core_s=0.1, seed=21
+        )
+        result = ForkJoinQueueingSimulator(
+            [one_cluster(clients=10.0)], [Region("r1", 1)], config
+        ).run()
+        assert result.completed_queries > 0
+        total_work = float(result.utilization.matrix.sum()) * config.utilization_bin_s
+        expected = result.completed_queries * 2 * config.base_demand_core_s
+        assert total_work == pytest.approx(expected, rel=0.1)
+        # A single core can never serve more than 1 core-s per second.
+        assert float(result.utilization.matrix.sum(axis=0).max()) <= 1.0 + 1e-9
+
+    def test_simultaneous_completion_ties_resolve_deterministically(self):
+        """sigma=0 makes every forked pair complete at the same instant.
+
+        Both tasks of a query then carry identical attained-work
+        targets; the sequence-number tie-break must resolve them in a
+        fixed order so the run is reproducible and nothing is lost.
+        """
+        config = QueueingConfig(
+            duration_s=60.0,
+            qps_per_client=0.2,
+            service_sigma=0.0,
+            seed=23,
+        )
+        first = ForkJoinQueueingSimulator(
+            [one_cluster()], [Region("r1", 8)], config
+        ).run()
+        second = ForkJoinQueueingSimulator(
+            [one_cluster()], [Region("r1", 8)], config
+        ).run()
+        assert first.completed_queries > 0
+        np.testing.assert_array_equal(
+            first.responses_by_cluster["C1"], second.responses_by_cluster["C1"]
+        )
+        assert first.completed_queries == second.completed_queries
+        assert first.dropped_queries == second.dropped_queries
+
+    def test_seeded_run_is_reproducible(self):
+        config = QueueingConfig(duration_s=60.0, qps_per_client=0.2, seed=25)
+        runs = [
+            ForkJoinQueueingSimulator(
+                [one_cluster()], [Region("r1", 8)], config
+            ).run()
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(
+            runs[0].responses_by_cluster["C1"], runs[1].responses_by_cluster["C1"]
+        )
+        np.testing.assert_array_equal(
+            runs[0].utilization.matrix, runs[1].utilization.matrix
+        )
+
+    def test_percentile_response_interpolates(self):
+        config = QueueingConfig(duration_s=60.0, qps_per_client=0.2, seed=3)
+        result = ForkJoinQueueingSimulator(
+            [one_cluster()], [Region("r1", 8)], config
+        ).run()
+        p50 = result.percentile_response_s("C1", 50.0)
+        p99 = result.percentile_response_s("C1", 99.0)
+        assert p50 <= p99
+        assert result.p90_response_s("C1") == result.percentile_response_s("C1", 90.0)
+
     def test_isolated_regions_do_not_interfere(self):
         """A saturated region must not slow a cluster in another region."""
         config = QueueingConfig(duration_s=120.0, qps_per_client=0.1, seed=17)

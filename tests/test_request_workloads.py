@@ -1,0 +1,329 @@
+"""Tests for the request-level workload catalog and the dispatch layer.
+
+``repro.workloads.requests`` (arrival generators + service laws, all
+under the versioned ``workload_layout`` RNG contract) and
+``repro.workloads.dispatch`` (random / round-robin / JSQ dispatch over
+processor-sharing regions).  The contracts pinned here: layout tags
+validate, seeded runs are bit-reproducible, every service law is
+mean-one, dispatch conserves work, and the closed loop never exceeds
+its client population.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.dispatch import (
+    DISPATCH_POLICIES,
+    DispatchConfig,
+    DispatchResult,
+    RequestDispatchSimulator,
+)
+from repro.workloads.queueing import Region
+from repro.workloads.requests import (
+    WORKLOAD_LAYOUTS,
+    BimodalService,
+    ClosedLoopClients,
+    LognormalService,
+    ParetoService,
+    PoissonArrivals,
+    RequestStream,
+    ZipfKeyArrivals,
+)
+
+
+def two_regions(cores: float = 4.0) -> list[Region]:
+    return [Region("s0", cores), Region("s1", cores)]
+
+
+class TestLayoutContract:
+    def test_v1_is_registered(self):
+        assert "v1" in WORKLOAD_LAYOUTS
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: PoissonArrivals(10.0, workload_layout="v999"),
+            lambda: ZipfKeyArrivals(10.0, workload_layout="v999"),
+            lambda: ClosedLoopClients(4, workload_layout="v999"),
+        ],
+    )
+    def test_unknown_layout_rejected(self, build):
+        with pytest.raises(ValueError, match="workload_layout"):
+            build()
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(-1.0)
+        with pytest.raises(ValueError):
+            ZipfKeyArrivals(1.0, num_keys=0)
+        with pytest.raises(ValueError):
+            ZipfKeyArrivals(1.0, key_sigma=-0.1)
+        with pytest.raises(ValueError):
+            ClosedLoopClients(0)
+        with pytest.raises(ValueError):
+            ClosedLoopClients(4, think_time_s=-1.0)
+
+    def test_request_stream_validation(self):
+        with pytest.raises(ValueError, match="demand_multiplier"):
+            RequestStream(np.array([1.0, 2.0]), np.array([1.0]))
+        with pytest.raises(ValueError, match="key"):
+            RequestStream(np.array([1.0]), np.array([1.0]), key=np.array([1, 2]))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            RequestStream(np.array([2.0, 1.0]), np.ones(2))
+
+
+class TestServiceDistributions:
+    @pytest.mark.parametrize(
+        "law",
+        [LognormalService(), ParetoService(), BimodalService()],
+        ids=["lognormal", "pareto", "bimodal"],
+    )
+    def test_mean_one(self, law):
+        rng = np.random.default_rng(0)
+        sample = law.sample(rng, 200_000)
+        assert np.all(sample > 0)
+        assert float(sample.mean()) == pytest.approx(1.0, rel=0.02)
+
+    def test_pareto_requires_finite_mean(self):
+        with pytest.raises(ValueError, match="alpha"):
+            ParetoService(alpha=1.0)
+
+    def test_bimodal_validation(self):
+        with pytest.raises(ValueError):
+            BimodalService(heavy_scale=0.5)
+        with pytest.raises(ValueError):
+            BimodalService(heavy_fraction=1.0)
+
+    def test_heavy_tails_exceed_lognormal(self):
+        """Pareto and the ETC mixture earn their 'heavy-tailed' billing."""
+        rng = np.random.default_rng(1)
+        draws = {
+            name: law.sample(rng, 200_000)
+            for name, law in [
+                ("lognormal", LognormalService()),
+                ("pareto", ParetoService()),
+                ("bimodal", BimodalService()),
+            ]
+        }
+        p999 = {name: float(np.quantile(s, 0.999)) for name, s in draws.items()}
+        assert p999["pareto"] > p999["lognormal"] * 1.5
+        assert p999["bimodal"] > p999["lognormal"] * 1.5
+
+    def test_bimodal_modes_present(self):
+        rng = np.random.default_rng(2)
+        law = BimodalService(heavy_scale=8.0, heavy_fraction=0.05, sigma=0.0)
+        sample = law.sample(rng, 100_000)
+        heavy = float((sample > 4 * sample.min()).mean())
+        assert heavy == pytest.approx(0.05, abs=0.01)
+
+
+class TestGenerators:
+    def test_poisson_rate_calibrated(self):
+        rng = np.random.default_rng(3)
+        stream = PoissonArrivals(50.0).generate(200.0, rng)
+        assert stream.num_requests == pytest.approx(50.0 * 200.0, rel=0.05)
+        assert np.all(np.diff(stream.arrival_s) >= 0)
+        np.testing.assert_array_equal(stream.demand_multiplier, 1.0)
+
+    def test_zero_rate_is_empty(self):
+        rng = np.random.default_rng(3)
+        stream = PoissonArrivals(0.0).generate(100.0, rng)
+        assert stream.num_requests == 0
+
+    def test_zipf_popularity_is_a_ranked_distribution(self):
+        pop = ZipfKeyArrivals(1.0, num_keys=32, skew=1.2).popularity()
+        assert pop.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(pop) < 0)  # strictly rank-ordered
+
+    def test_zipf_multipliers_mean_one_and_skewed(self):
+        rng = np.random.default_rng(4)
+        gen = ZipfKeyArrivals(100.0, num_keys=64, skew=1.1, key_sigma=0.4)
+        stream = gen.generate(400.0, rng)
+        assert stream.key is not None
+        assert stream.key.min() >= 0 and stream.key.max() < 64
+        # Popularity-weighted normalisation keeps the offered load honest.
+        assert float(stream.demand_multiplier.mean()) == pytest.approx(1.0, abs=0.05)
+        # Rank 0 must actually dominate the picks.
+        counts = np.bincount(stream.key, minlength=64)
+        assert counts[0] > counts[16] > 0
+
+    def test_open_loop_determinism(self):
+        streams = [
+            ZipfKeyArrivals(80.0).generate(60.0, np.random.default_rng(5))
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(streams[0].arrival_s, streams[1].arrival_s)
+        np.testing.assert_array_equal(
+            streams[0].demand_multiplier, streams[1].demand_multiplier
+        )
+        np.testing.assert_array_equal(streams[0].key, streams[1].key)
+
+    def test_closed_loop_draws(self):
+        rng = np.random.default_rng(6)
+        clients = ClosedLoopClients(16, think_time_s=2.0)
+        initial = clients.initial_arrivals(rng)
+        assert initial.shape == (16,)
+        assert np.all(initial >= 0)
+        assert clients.think_s(rng) >= 0
+
+
+class TestDispatchValidation:
+    def test_needs_regions(self):
+        with pytest.raises(ValueError, match="at least one region"):
+            RequestDispatchSimulator([], PoissonArrivals(1.0))
+
+    def test_rejects_duplicate_region_ids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            RequestDispatchSimulator(
+                [Region("s0", 4), Region("s0", 8)], PoissonArrivals(1.0)
+            )
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="dispatch policy"):
+            RequestDispatchSimulator(
+                two_regions(), PoissonArrivals(1.0), policy="least-loaded"
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DispatchConfig(duration_s=0.0)
+        with pytest.raises(ValueError):
+            DispatchConfig(base_demand_core_s=0.0)
+        with pytest.raises(ValueError):
+            DispatchConfig(utilization_bin_s=0.0)
+
+
+class TestDispatchBehaviour:
+    def run_sim(self, policy: str, seed: int = 7, **kwargs) -> DispatchResult:
+        config = DispatchConfig(duration_s=120.0, seed=seed)
+        sim = RequestDispatchSimulator(
+            two_regions(), PoissonArrivals(30.0), policy=policy, config=config, **kwargs
+        )
+        return sim.run()
+
+    @pytest.mark.parametrize("policy", DISPATCH_POLICIES)
+    def test_seeded_determinism(self, policy):
+        first = self.run_sim(policy)
+        second = self.run_sim(policy)
+        np.testing.assert_array_equal(first.response_s, second.response_s)
+        np.testing.assert_array_equal(first.region_index, second.region_index)
+        np.testing.assert_array_equal(
+            first.utilization.matrix, second.utilization.matrix
+        )
+        assert first.completed_requests == second.completed_requests
+        assert first.dropped_requests == second.dropped_requests
+
+    def test_different_seeds_differ(self):
+        first = self.run_sim("jsq", seed=7)
+        second = self.run_sim("jsq", seed=8)
+        assert first.completed_requests != second.completed_requests or not np.array_equal(
+            first.response_s, second.response_s
+        )
+
+    def test_round_robin_balances_exactly(self):
+        result = self.run_sim("round_robin")
+        counts = np.bincount(result.region_index, minlength=2)
+        # RR alternates assignments; only in-flight drops can skew counts.
+        assert abs(int(counts[0]) - int(counts[1])) <= 1 + result.dropped_requests
+
+    def test_jsq_prefers_lowest_index_when_idle(self):
+        """At very light load nearly every arrival finds both regions
+        idle, and the (active, index) tie-break must send it to region 0
+        (region 1 only sees the rare overlapping arrival)."""
+        config = DispatchConfig(duration_s=200.0, seed=9)
+        result = RequestDispatchSimulator(
+            two_regions(), PoissonArrivals(0.5), policy="jsq", config=config
+        ).run()
+        assert result.completed_requests > 0
+        assert float((result.region_index == 0).mean()) > 0.9
+
+    def test_random_uses_both_regions(self):
+        result = self.run_sim("random")
+        counts = np.bincount(result.region_index, minlength=2)
+        assert counts[0] > 0 and counts[1] > 0
+
+    def test_work_conservation_with_constant_service(self):
+        """sigma=0 makes every request cost exactly base_demand_core_s."""
+        config = DispatchConfig(duration_s=120.0, base_demand_core_s=0.05, seed=11)
+        result = RequestDispatchSimulator(
+            two_regions(),
+            PoissonArrivals(20.0),
+            LognormalService(sigma=0.0),
+            policy="jsq",
+            config=config,
+        ).run()
+        total_work = float(result.utilization.matrix.sum()) * config.utilization_bin_s
+        base = config.base_demand_core_s
+        # Completed requests contribute exactly base each; requests still
+        # in flight at the horizon contribute a partial amount in [0, base).
+        assert total_work >= result.completed_requests * base - 1e-9
+        assert total_work <= (result.completed_requests + result.dropped_requests) * base + 1e-9
+
+    def test_utilization_bridge_is_a_traceset(self):
+        result = self.run_sim("jsq")
+        assert result.utilization.names == ("s0", "s1")
+        assert result.utilization.matrix.shape[0] == 2
+        assert float(result.utilization.matrix.sum()) > 0
+
+    def test_empty_run_raises_on_percentiles(self):
+        config = DispatchConfig(duration_s=10.0, seed=1)
+        result = RequestDispatchSimulator(
+            two_regions(), PoissonArrivals(0.0), config=config
+        ).run()
+        assert result.completed_requests == 0
+        with pytest.raises(ValueError, match="no requests"):
+            result.p99_response_s
+        with pytest.raises(ValueError, match="no requests"):
+            result.mean_response_s
+
+    def test_latency_rises_with_load(self):
+        light = RequestDispatchSimulator(
+            two_regions(),
+            ZipfKeyArrivals(10.0),
+            BimodalService(),
+            config=DispatchConfig(duration_s=120.0, seed=13),
+        ).run()
+        heavy = RequestDispatchSimulator(
+            two_regions(),
+            ZipfKeyArrivals(90.0),
+            BimodalService(),
+            config=DispatchConfig(duration_s=120.0, seed=13),
+        ).run()
+        assert heavy.p99_response_s > light.p99_response_s
+
+
+class TestClosedLoop:
+    def test_population_bounds_in_flight(self):
+        clients = ClosedLoopClients(8, think_time_s=0.5)
+        config = DispatchConfig(duration_s=120.0, seed=15)
+        result = RequestDispatchSimulator(
+            two_regions(), clients, policy="jsq", config=config
+        ).run()
+        assert result.completed_requests > 0
+        # At most the full population can be in flight at the horizon.
+        assert result.dropped_requests <= clients.num_clients
+        assert np.all(result.response_s > 0)
+
+    def test_closed_loop_determinism(self):
+        clients = ClosedLoopClients(8, think_time_s=0.5)
+        config = DispatchConfig(duration_s=60.0, seed=17)
+        runs = [
+            RequestDispatchSimulator(
+                two_regions(), clients, policy="round_robin", config=config
+            ).run()
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(runs[0].response_s, runs[1].response_s)
+        assert runs[0].dropped_requests == runs[1].dropped_requests
+
+    def test_think_time_throttles_throughput(self):
+        config = DispatchConfig(duration_s=120.0, seed=19)
+        eager = RequestDispatchSimulator(
+            two_regions(), ClosedLoopClients(8, think_time_s=0.2), config=config
+        ).run()
+        lazy = RequestDispatchSimulator(
+            two_regions(), ClosedLoopClients(8, think_time_s=5.0), config=config
+        ).run()
+        assert eager.completed_requests > lazy.completed_requests * 2

@@ -1,0 +1,128 @@
+"""Tests for the slo_frontier experiment (energy vs tail latency).
+
+All runs use a deliberately tiny Setup-2 population (8 VMs, 6 servers,
+2 h) so the suite stays fast; the full five-policy sweep with its
+serial==pooled byte-equivalence lives in
+``benchmarks/bench_scaling.py::test_slo_frontier_gate``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, slo_frontier
+from repro.experiments.setup2 import Setup2Config
+from repro.traces.datacenter import DatacenterTraceConfig
+from repro.workloads.queueing import Region
+
+
+def tiny_config() -> Setup2Config:
+    return Setup2Config(
+        traces=DatacenterTraceConfig(num_vms=8, num_clusters=4, duration_s=2 * 3600.0),
+        num_servers=6,
+    )
+
+
+@pytest.fixture(scope="module")
+def result():
+    return slo_frontier.run(
+        config=tiny_config(),
+        policies=("BFD", "Proposed"),
+        load_points=(0.3, 0.6),
+        request_duration_s=20.0,
+    )
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert EXPERIMENTS["slo_frontier"] is slo_frontier.run
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown policies"):
+            slo_frontier.run(policies=("BFD", "WorstFit"))
+        with pytest.raises(ValueError, match="positive"):
+            slo_frontier.run(load_points=(0.5, -0.1))
+
+
+class TestFrontierShape:
+    def test_grid_covers_request(self, result):
+        data = result.data
+        assert data["policies"] == ("BFD", "Proposed")
+        assert data["load_points"] == (0.3, 0.6)
+        assert tuple(data["frontier"]) == ("BFD", "Proposed")
+        for points in data["frontier"].values():
+            assert len(points) == 2
+            for point in points:
+                assert point["completed"] > 0
+                assert point["p99_s"] > 0
+                assert point["p999_s"] >= point["p99_s"]
+                assert point["p99_vs_slo"] == point["p99_s"] / data["slo_s"]
+
+    def test_rates_shared_across_policies(self, result):
+        """Common random numbers: each load point offers every policy the
+        identical rate, so the frontier isolates the placement effect."""
+        data = result.data
+        assert len(data["rates_qps"]) == len(data["load_points"])
+        for points in data["frontier"].values():
+            assert tuple(p["rate_qps"] for p in points) == data["rates_qps"]
+
+    def test_monotonicity_fields(self, result):
+        data = result.data
+        assert set(data["p99_monotone_in_load"]) == {"BFD", "Proposed"}
+        worst = max(
+            p["p99_vs_slo"] for points in data["frontier"].values() for p in points
+        )
+        assert data["worst_p99_vs_slo"] == pytest.approx(worst)
+
+    def test_energy_per_policy(self, result):
+        energy = result.data["energy_j"]
+        assert set(energy) == {"BFD", "Proposed"}
+        assert all(value > 0 for value in energy.values())
+
+    def test_render(self, result):
+        text = result.render()
+        assert "[slo_frontier]" in text
+        assert "p99 / SLO" in text
+
+
+class TestEquivalence:
+    def test_serial_matches_pooled(self):
+        kwargs = dict(
+            config=tiny_config(),
+            policies=("BFD", "Proposed"),
+            load_points=(0.3, 0.6),
+            request_duration_s=20.0,
+        )
+        serial = slo_frontier.run(**kwargs)
+        pooled = slo_frontier.run(workers=2, **kwargs)
+        assert slo_frontier.frontier_fingerprint(
+            serial
+        ) == slo_frontier.frontier_fingerprint(pooled)
+
+    def test_fingerprint_sensitive_to_data(self, result):
+        baseline = slo_frontier.frontier_fingerprint(result)
+        perturbed = slo_frontier.run(
+            config=tiny_config(),
+            policies=("BFD", "Proposed"),
+            load_points=(0.3, 0.6),
+            request_duration_s=20.0,
+            request_seed=99,
+        )
+        assert slo_frontier.frontier_fingerprint(perturbed) != baseline
+
+
+class TestBridge:
+    def test_regions_reflect_placement(self, result):
+        """Every policy's region pool is non-empty with positive free
+        cores, capped by the server's core count."""
+        config = tiny_config()
+        from repro.experiments.setup2 import build_fine_traces
+
+        fine = build_fine_traces(config)
+        replay = result.data["results"]["Proposed"]
+        period = slo_frontier._peak_period(fine, replay)
+        regions = slo_frontier._regions_from_result(fine, replay, config, period)
+        assert regions
+        for region in regions:
+            assert isinstance(region, Region)
+            assert 0 < region.n_cores <= config.spec.n_cores

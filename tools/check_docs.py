@@ -149,6 +149,10 @@ def check_bench_table(errors: list[str]) -> None:
             bench["churn"]["p50_ms"],
             bench["churn"]["p99_ms"],
         ],
+        "SLO frontier worst p99": [
+            bench["slo_frontier"]["p99_ms"],
+            bench["slo_frontier"]["worst_p99_vs_slo"],
+        ],
     }
     for label, values in expected.items():
         quoted = _row_numbers(readme, label)

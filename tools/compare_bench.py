@@ -55,6 +55,11 @@ GATED_ENTRIES: tuple[tuple[str, str, str], ...] = (
     ("allocate_sharded", "speedup_vs_exact", "higher"),
     ("allocate_sharded", "proxy_ratio", "lower"),
     ("churn", "p99_vs_p50", "lower"),
+    # slo_frontier is fully seeded, so both entries are deterministic:
+    # the ratio must land exactly on the committed value on any box, and
+    # the equivalence flag is 1.0 (byte-identical serial vs pooled).
+    ("slo_frontier", "worst_p99_vs_slo", "lower"),
+    ("slo_frontier", "serial_equals_parallel", "higher"),
 )
 
 #: Wall-clock entries shown for context (never gated; box-dependent).
@@ -76,6 +81,8 @@ INFORMATIONAL_ENTRIES: tuple[tuple[str, str], ...] = (
     ("allocate_sharded", "deep.peak_rss_mb"),
     ("churn", "p99_ms"),
     ("churn", "events_per_s"),
+    ("slo_frontier", "p99_ms"),
+    ("slo_frontier", "frontier_ms"),
 )
 
 

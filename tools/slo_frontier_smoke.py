@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""SLO-frontier smoke test: tiny grid through the real experiment.
+
+CI's end-to-end proof that the request-level workload library stays
+wired to the placement stack: runs ``slo_frontier`` over a deliberately
+tiny population (8 VMs, 6 servers, 2 h of traces) with two policies and
+two load points, then requires the result to carry every frontier field
+the bench gate and the README table consume:
+
+1. the ``frontier`` mapping holds exactly the requested policies, each
+   with one point per load point and a completed-request count > 0,
+2. the monotonicity verdicts (``p99_monotone_in_load``) and the SLO
+   score (``worst_p99_vs_slo``) are present and well-formed,
+3. the grid echo (``load_points``, ``slo_s``, ``rates_qps``) matches
+   what was asked for, so downstream tables can trust it.
+
+This is a wiring check, not a performance gate — the full five-policy
+sweep with its serial==pooled equivalence and SLO ceiling lives in
+``benchmarks/bench_scaling.py::test_slo_frontier_gate``.
+
+Exit code 0 when every field checks out, 1 on any divergence.  Usage:
+``python tools/slo_frontier_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import slo_frontier  # noqa: E402
+from repro.experiments.setup2 import Setup2Config  # noqa: E402
+from repro.traces.datacenter import DatacenterTraceConfig  # noqa: E402
+
+POLICIES = ("BFD", "Proposed")
+LOAD_POINTS = (0.3, 0.6)
+DURATION_S = 20.0
+
+
+def _fail(message: str) -> None:
+    print(f"slo-frontier smoke FAILED: {message}")
+    raise SystemExit(1)
+
+
+def main() -> int:
+    config = Setup2Config(
+        traces=DatacenterTraceConfig(
+            num_vms=8, num_clusters=4, duration_s=2 * 3600.0
+        ),
+        num_servers=6,
+    )
+    result = slo_frontier.run(
+        config=config,
+        policies=POLICIES,
+        load_points=LOAD_POINTS,
+        request_duration_s=DURATION_S,
+    )
+    print(result.sections["frontier"])
+
+    data = result.data
+    for field in (
+        "frontier",
+        "p99_monotone_in_load",
+        "worst_p99_vs_slo",
+        "load_points",
+        "slo_s",
+        "rates_qps",
+        "energy_j",
+    ):
+        if field not in data:
+            _fail(f"result.data is missing the {field!r} field")
+
+    if data["load_points"] != LOAD_POINTS:
+        _fail(f"load_points echoed {data['load_points']!r}, asked {LOAD_POINTS!r}")
+    if tuple(data["frontier"]) != POLICIES:
+        _fail(f"frontier covers {tuple(data['frontier'])!r}, asked {POLICIES!r}")
+
+    for name, points in data["frontier"].items():
+        if len(points) != len(LOAD_POINTS):
+            _fail(f"{name}: {len(points)} points for {len(LOAD_POINTS)} loads")
+        for point in points:
+            if point["completed"] <= 0:
+                _fail(f"{name} at load {point['load']}: no completed requests")
+            if not math.isfinite(point["p99_s"]) or point["p99_s"] <= 0:
+                _fail(f"{name} at load {point['load']}: bad p99 {point['p99_s']!r}")
+
+    verdicts = data["p99_monotone_in_load"]
+    if set(verdicts) != set(POLICIES):
+        _fail(f"monotonicity verdicts cover {sorted(verdicts)!r}")
+    if not all(isinstance(flag, bool) for flag in verdicts.values()):
+        _fail("monotonicity verdicts must be booleans")
+
+    worst = data["worst_p99_vs_slo"]
+    expected = max(
+        point["p99_vs_slo"] for points in data["frontier"].values() for point in points
+    )
+    if not math.isclose(worst, expected):
+        _fail(f"worst_p99_vs_slo {worst!r} != max over frontier {expected!r}")
+
+    monotone = sum(verdicts.values())
+    print(
+        f"slo-frontier smoke passed: {len(POLICIES)} policies x "
+        f"{len(LOAD_POINTS)} loads, worst p99/SLO {worst:.3f}, "
+        f"{monotone}/{len(POLICIES)} policies monotone"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
